@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Time-Warp: Lightweight
+// Abort Minimization in Transactional Memory" (Diegues and Romano, PPoPP
+// 2014).
+//
+// The repository contains the paper's contribution — the Time-Warp
+// Multi-version STM (internal/core) — together with everything its evaluation
+// depends on: four baseline STM engines (internal/tl2, internal/norec,
+// internal/jvstm, internal/avstm) behind one object-based TM API
+// (internal/stm), a transactional data-structure library (internal/ds/...),
+// Go ports of six STAMP applications (internal/stamp/...), an Adya-style
+// serializability oracle (internal/dsg), and a benchmark harness plus CLI
+// (internal/bench, cmd/twm-bench) that regenerates every table and figure of
+// the paper's §5.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for measured results.
+package repro

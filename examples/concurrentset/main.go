@@ -1,0 +1,110 @@
+// Concurrentset runs the paper's §5.1 scenario interactively: a shared
+// transactional skip list hammered by mixed lookup/insert/remove goroutines,
+// executed on every engine in the repository, printing throughput and the
+// abort-rate split per engine — a miniature of Fig. 3.
+//
+// Run with:
+//
+//	go run ./examples/concurrentset
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ds/skiplist"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+const (
+	workers  = 16
+	elements = 2000
+	keyRange = 4000
+	duration = 300 * time.Millisecond
+)
+
+func main() {
+	fmt.Printf("skip list, %d initial elements, 25%% updates, %d workers, %v per engine\n\n",
+		elements, workers, duration)
+	fmt.Printf("%-8s  %12s  %8s  %s\n", "engine", "ops/s", "aborts%", "abort reasons")
+	for _, name := range engines.PaperSet() {
+		run(name)
+	}
+}
+
+func run(name string) {
+	tm := engines.MustNew(name)
+	set := skiplist.New(tm)
+
+	// Populate.
+	r := xrand.New(42)
+	for done := 0; done < elements; {
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for i := 0; i < 128 && done < elements; i++ {
+				if set.Insert(tx, r.Int63()%keyRange) {
+					done++
+				}
+			}
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+	}
+	tm.Stats().Reset()
+
+	var (
+		stop bool
+		mu   sync.Mutex
+		ops  int
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := xrand.New(seed)
+			n := 0
+			for {
+				mu.Lock()
+				s := stop
+				mu.Unlock()
+				if s {
+					break
+				}
+				k := r.Int63() % keyRange
+				switch {
+				case r.Bool(0.25):
+					_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+						if r.Bool(0.5) {
+							set.Insert(tx, k)
+						} else {
+							set.Remove(tx, k)
+						}
+						return nil
+					})
+				default:
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						set.Contains(tx, k)
+						return nil
+					})
+				}
+				n++
+			}
+			mu.Lock()
+			ops += n
+			mu.Unlock()
+		}(uint64(w + 1))
+	}
+	time.Sleep(duration)
+	mu.Lock()
+	stop = true
+	mu.Unlock()
+	wg.Wait()
+
+	snap := tm.Stats().Snapshot()
+	fmt.Printf("%-8s  %12.0f  %8.2f  %v\n",
+		name, float64(ops)/duration.Seconds(), snap.AbortRate()*100, snap.ByReason)
+}

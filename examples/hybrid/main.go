@@ -1,0 +1,72 @@
+// Hybrid demonstrates the paper's §6 future-work direction: a best-effort
+// (simulated) hardware TM with TWM as the software fallback path. It sweeps
+// hardware reliability and prints where transactions ended up committing —
+// showing how the fallback engine absorbs load as the hardware degrades.
+//
+// Run with:
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hytm"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func main() {
+	fmt.Println("hybrid TM: simulated best-effort hardware, TWM software fallback")
+	fmt.Printf("%-22s %10s %10s %10s %10s\n",
+		"hardware profile", "hw-commit", "conflict", "capacity", "fallback")
+	run("reliable hardware", hytm.Options{})
+	run("flaky (30% aborts)", hytm.Options{AbortProb: 0.3})
+	run("tiny capacity", hytm.Options{MaxReads: 6, MaxWrites: 2})
+	run("nearly useless (90%)", hytm.Options{AbortProb: 0.9, HWAttempts: 2})
+}
+
+func run(label string, opts hytm.Options) {
+	tm := hytm.New(core.New(core.Options{}), opts)
+	const nv = 64
+	vars := make([]stm.Var, nv)
+	for i := range vars {
+		vars[i] = tm.NewVar(0)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(r *xrand.Rand) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				// Mostly small transfers; occasionally a big sweep that
+				// exceeds small hardware capacities.
+				if r.Bool(0.05) {
+					_ = tm.Atomically(false, func(tx stm.Tx) error {
+						sum := 0
+						for _, v := range vars[:16] {
+							sum += tx.Read(v).(int)
+						}
+						tx.Write(vars[0], sum-sum) // keep totals at zero
+						return nil
+					})
+					continue
+				}
+				i, j := r.Intn(nv), r.Intn(nv)
+				_ = tm.Atomically(false, func(tx stm.Tx) error {
+					tx.Write(vars[i], tx.Read(vars[i]).(int)+1)
+					tx.Write(vars[j], tx.Read(vars[j]).(int)-1)
+					return nil
+				})
+			}
+		}(xrand.New(uint64(g + 1)))
+	}
+	wg.Wait()
+
+	s := tm.HybridStats()
+	fmt.Printf("%-22s %10d %10d %10d %10d\n", label,
+		s.HWCommits.Load(), s.HWConflicts.Load(), s.HWCapacity.Load(), s.Fallbacks.Load())
+}

@@ -1,0 +1,140 @@
+// Reservation is a miniature travel-booking service composed from the public
+// pieces of this repository: TWM as the engine, transactional treap tables
+// for inventory, and multi-step business transactions (quote across tables,
+// then book atomically). It is the vacation benchmark's domain, written the
+// way an application author would use the library.
+//
+// Run with:
+//
+//	go run ./examples/reservation
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ds/treap"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Room is an immutable inventory row; bookings replace the row.
+type Room struct {
+	Capacity int
+	Booked   int
+	Price    int
+}
+
+const (
+	hotels    = 200
+	travelers = 12
+	tripsEach = 150
+)
+
+func main() {
+	tm := core.New(core.Options{})
+	inventory := treap.New(tm)
+	revenue := stm.NewTVar(tm, 0)
+
+	// Load inventory.
+	seedRng := xrand.New(7)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		for id := int64(0); id < hotels; id++ {
+			inventory.Put(tx, id, Room{Capacity: 2 + seedRng.Intn(4), Price: 80 + seedRng.Intn(220)})
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// bookCheapest scans a random window of hotels for the cheapest room with
+	// capacity left and books it, paying into revenue — all in one atomic
+	// transaction.
+	bookCheapest := func(r *xrand.Rand) (booked bool) {
+		from := int64(r.Intn(hotels))
+		err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			booked = false
+			bestID, bestPrice := int64(-1), 1<<30
+			seen := 0
+			inventory.RangeFrom(tx, from, func(id int64, v stm.Value) bool {
+				room := v.(Room)
+				if room.Booked < room.Capacity && room.Price < bestPrice {
+					bestID, bestPrice = id, room.Price
+				}
+				seen++
+				return seen < 20 // quote window
+			})
+			if bestID < 0 {
+				return nil
+			}
+			v, _ := inventory.Get(tx, bestID)
+			room := v.(Room)
+			if room.Booked >= room.Capacity {
+				return nil
+			}
+			room.Booked++
+			inventory.Put(tx, bestID, room)
+			revenue.Set(tx, revenue.Get(tx)+room.Price)
+			booked = true
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return booked
+	}
+
+	var wg sync.WaitGroup
+	var bookedTotal sync.Map
+	for tr := 0; tr < travelers; tr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(uint64(id + 1))
+			n := 0
+			for i := 0; i < tripsEach; i++ {
+				if bookCheapest(r) {
+					n++
+				}
+			}
+			bookedTotal.Store(id, n)
+		}(tr)
+	}
+	wg.Wait()
+
+	// Audit: revenue must equal the sum over rooms of booked*price, and no
+	// room may be overbooked.
+	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
+		want := 0
+		rooms, taken := 0, 0
+		inventory.ForEach(tx, func(id int64, v stm.Value) bool {
+			room := v.(Room)
+			if room.Booked > room.Capacity {
+				log.Fatalf("hotel %d overbooked: %+v", id, room)
+			}
+			want += room.Booked * room.Price
+			rooms += room.Capacity
+			taken += room.Booked
+			return true
+		})
+		got := revenue.Get(tx)
+		fmt.Printf("rooms booked: %d / %d capacity\n", taken, rooms)
+		fmt.Printf("revenue: %d (audit says %d) — %s\n", got, want, check(got == want))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	snap := tm.Stats().Snapshot()
+	fmt.Printf("transactions: %d committed, %d restarted (%.1f%% abort rate)\n",
+		snap.Commits, snap.Aborts, snap.AbortRate()*100)
+}
+
+func check(ok bool) string {
+	if ok {
+		return "consistent"
+	}
+	return "INCONSISTENT"
+}

@@ -1,0 +1,119 @@
+// Scheduler is a priority task dispatcher built on the transactional pairing
+// heap: producers submit deadline-ordered jobs while a worker pool claims
+// the most urgent one, atomically, with no locks in application code.
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ds/pheap"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+type job struct {
+	id       int
+	deadline int64
+}
+
+func main() {
+	tm := core.New(core.Options{})
+	queue := pheap.New(tm)
+	submitted := stm.NewTVar(tm, 0)
+
+	const producers, jobsEach, workers = 3, 40, 4
+	totalJobs := producers * jobsEach
+
+	// Producers submit jobs with random deadlines.
+	var pg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pg.Add(1)
+		go func(p int, r *xrand.Rand) {
+			defer pg.Done()
+			for i := 0; i < jobsEach; i++ {
+				j := job{id: p*jobsEach + i, deadline: int64(r.Intn(10_000))}
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					queue.Insert(tx, j.deadline, j)
+					submitted.Set(tx, submitted.Get(tx)+1)
+					return nil
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}(p, xrand.New(uint64(p+1)))
+	}
+
+	// Workers drain by urgency.
+	var mu sync.Mutex
+	executed := make([]job, 0, totalJobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var j job
+				var got, done bool
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					got, done = false, false
+					if _, v, ok := queue.DeleteMin(tx); ok {
+						j, got = v.(job), true
+						return nil
+					}
+					// Queue empty: finished only if all jobs were submitted.
+					done = submitted.Get(tx) == totalJobs
+					return nil
+				}); err != nil {
+					panic(err)
+				}
+				if got {
+					mu.Lock()
+					executed = append(executed, j)
+					mu.Unlock()
+					continue
+				}
+				if done {
+					return
+				}
+			}
+		}()
+	}
+	pg.Wait()
+	wg.Wait()
+
+	// Report: every job ran exactly once; urgency order is respected in
+	// aggregate (later-claimed jobs can only have later-or-equal deadlines
+	// among those present at claim time, so a full sort check is too strong;
+	// we report the inversion fraction instead).
+	seen := map[int]bool{}
+	for _, j := range executed {
+		if seen[j.id] {
+			panic("job executed twice")
+		}
+		seen[j.id] = true
+	}
+	inversions := 0
+	for i := 1; i < len(executed); i++ {
+		if executed[i].deadline < executed[i-1].deadline {
+			inversions++
+		}
+	}
+	deadlines := make([]int64, len(executed))
+	for i, j := range executed {
+		deadlines[i] = j.deadline
+	}
+	sorted := sort.SliceIsSorted(deadlines, func(i, j int) bool { return deadlines[i] < deadlines[j] })
+
+	fmt.Printf("executed %d/%d jobs exactly once\n", len(executed), totalJobs)
+	fmt.Printf("deadline inversions: %d (%.1f%%; racing producers make a few inevitable, fully sorted=%v)\n",
+		inversions, float64(inversions)/float64(len(executed))*100, sorted)
+	snap := tm.Stats().Snapshot()
+	fmt.Printf("transactions: %d committed, %d restarted\n", snap.Commits, snap.Aborts)
+}

@@ -1,0 +1,164 @@
+package avstm_test
+
+import (
+	"testing"
+
+	"repro/internal/avstm"
+	"repro/internal/dsg"
+	"repro/internal/stm"
+	"repro/internal/stm/stmtest"
+)
+
+func factory() stm.TM { return avstm.New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, factory, stmtest.Options{NotOpaque: true})
+}
+
+func TestSerializabilityDSG(t *testing.T) {
+	dsg.CheckRandom(t, factory(), dsg.RunOptions{})
+}
+
+func TestSerializabilityDSGHighContention(t *testing.T) {
+	dsg.CheckRandom(t, factory(), dsg.RunOptions{Vars: 3, Goroutines: 8, TxPerG: 120, Seed: 42})
+}
+
+func TestCommitsInThePast(t *testing.T) {
+	// The interval mechanism must accept the Fig. 1-style history that
+	// classic validation rejects: t1's read of x is overwritten by t2, but
+	// t1 wrote only an unread variable, so t1 serializes before t2.
+	tm := factory()
+	x := tm.NewVar(0)
+	y := tm.NewVar(0)
+
+	t1 := tm.Begin(false)
+	t1.Read(x)
+	t1.Write(y, 1)
+
+	t2 := tm.Begin(false)
+	t2.Write(x, 1)
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+	if !tm.Commit(t1) {
+		t.Fatalf("interval STM must commit t1 in the past")
+	}
+	// Both effects visible afterwards.
+	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
+		if tx.Read(x) != 1 || tx.Read(y) != 1 {
+			t.Errorf("final state x=%v y=%v", tx.Read(x), tx.Read(y))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalEmptyAborts(t *testing.T) {
+	// t1 read x (overwritten by t2 -> ub clamped) and must also serialize
+	// after t2 because it overwrites what t2 wrote: interval empties.
+	tm := factory()
+	x := tm.NewVar(0)
+
+	t1 := tm.Begin(false)
+	t1.Read(x)
+	t1.Write(x, 99)
+
+	t2 := tm.Begin(false)
+	t2.Write(x, 1)
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+	if tm.Commit(t1) {
+		t.Fatalf("lost update admitted")
+	}
+	snap := tm.Stats().Snapshot()
+	if snap.ByReason["interval-empty"] == 0 {
+		t.Fatalf("abort reasons = %v, want interval-empty", snap.ByReason)
+	}
+}
+
+func TestCommittedReaderBlocksLaterWriterInPast(t *testing.T) {
+	// rts bookkeeping: after a reader of y commits "late", a writer of y
+	// that must serialize before that reader's point has an empty interval.
+	tm := factory()
+	x := tm.NewVar(0)
+	y := tm.NewVar(0)
+
+	// Writer w1 advances x's timestamp.
+	w1 := tm.Begin(false)
+	w1.Write(x, 5)
+	if !tm.Commit(w1) {
+		t.Fatalf("w1 commit failed")
+	}
+
+	// Reader r reads x (new) and y (old): serializes after w1.
+	r := tm.Begin(true)
+	if r.Read(x) != 5 {
+		t.Fatalf("r should see w1's write")
+	}
+	r.Read(y)
+
+	// Writer w2 writes y and reads x's OLD... it cannot: single version.
+	// Instead w2 reads nothing but must come after r (r read y that w2
+	// overwrites and r commits first).
+	if !tm.Commit(r) {
+		t.Fatalf("reader commit failed")
+	}
+
+	w2 := tm.Begin(false)
+	w2.Write(y, 7)
+	if !tm.Commit(w2) {
+		t.Fatalf("w2 should commit after r")
+	}
+
+	// Final state consistent.
+	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
+		if tx.Read(y) != 7 {
+			t.Errorf("y = %v", tx.Read(y))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyCanAbortUnderConflict(t *testing.T) {
+	// No mv-permissiveness: a read-only transaction squeezed between a
+	// clamped upper bound and a raised lower bound aborts.
+	tm := factory()
+	x := tm.NewVar(0)
+	y := tm.NewVar(0)
+
+	ro := tm.Begin(true)
+	ro.Read(x) // registers as reader of x
+
+	// w1 overwrites x: ro.ub <- p(w1).
+	w1 := tm.Begin(false)
+	w1.Write(x, 1)
+	if !tm.Commit(w1) {
+		t.Fatalf("w1 commit failed")
+	}
+	// w2 writes y after w1 (p(w2) > p(w1) because w2 overwrites nothing of
+	// w1; force ordering by having w2 read x first).
+	w2 := tm.Begin(false)
+	w2.Read(x)
+	w2.Write(y, 2)
+	if !tm.Commit(w2) {
+		t.Fatalf("w2 commit failed")
+	}
+	// ro now reads y (wts = p(w2) >= ub): lb >= ub, interval empty.
+	aborted := func() (aborted bool) {
+		defer func() {
+			if recover() != nil {
+				aborted = true
+			}
+		}()
+		ro.Read(y)
+		return tm.Commit(ro) == false
+	}()
+	if !aborted {
+		t.Fatalf("read-only transaction should have aborted (interval empty)")
+	}
+	tm.Abort(ro)
+}

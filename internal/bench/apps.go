@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/stamp"
+	"repro/internal/stamp/genome"
+	"repro/internal/stamp/intruder"
+	"repro/internal/stamp/kmeans"
+	"repro/internal/stamp/labyrinth"
+	"repro/internal/stamp/ssca2"
+	"repro/internal/stamp/vacation"
+)
+
+// StampApps returns factories for the eight Fig. 5 panels, keyed by reporting
+// name. scale selects input sizes: "default" for benchmark runs, "small" for
+// tests and the testing.B harness.
+func StampApps(scale string) (map[string]func() stamp.Workload, error) {
+	small := false
+	switch scale {
+	case "default", "":
+	case "small":
+		small = true
+	default:
+		return nil, fmt.Errorf("bench: unknown scale %q (want default or small)", scale)
+	}
+	pick := func(def, sm func() stamp.Workload) func() stamp.Workload {
+		if small {
+			return sm
+		}
+		return def
+	}
+	return map[string]func() stamp.Workload{
+		"genome": pick(
+			func() stamp.Workload { return genome.New(genome.Default()) },
+			func() stamp.Workload { return genome.New(genome.Small()) }),
+		"intruder": pick(
+			func() stamp.Workload { return intruder.New(intruder.Default()) },
+			func() stamp.Workload { return intruder.New(intruder.Small()) }),
+		"kmeans-low": pick(
+			func() stamp.Workload { return kmeans.New("kmeans-low", kmeans.Low()) },
+			func() stamp.Workload { return kmeans.New("kmeans-low", kmeans.Small()) }),
+		"kmeans-high": pick(
+			func() stamp.Workload { return kmeans.New("kmeans-high", kmeans.High()) },
+			func() stamp.Workload {
+				p := kmeans.Small()
+				p.Clusters = 2
+				return kmeans.New("kmeans-high", p)
+			}),
+		"labyrinth": pick(
+			func() stamp.Workload { return labyrinth.New(labyrinth.Default()) },
+			func() stamp.Workload { return labyrinth.New(labyrinth.Small()) }),
+		"ssca2": pick(
+			func() stamp.Workload { return ssca2.New(ssca2.Default()) },
+			func() stamp.Workload { return ssca2.New(ssca2.Small()) }),
+		"vacation-low": pick(
+			func() stamp.Workload { return vacation.New("vacation-low", vacation.Low()) },
+			func() stamp.Workload {
+				p := vacation.Small()
+				p.QueryRange, p.UserPct = 0.9, 0.98
+				return vacation.New("vacation-low", p)
+			}),
+		"vacation-high": pick(
+			func() stamp.Workload { return vacation.New("vacation-high", vacation.High()) },
+			func() stamp.Workload { return vacation.New("vacation-high", vacation.Small()) }),
+	}, nil
+}
+
+// StampAppNames lists the Fig. 5 panels in the paper's order.
+func StampAppNames() []string {
+	return []string{"genome", "intruder", "ssca2", "kmeans-low", "kmeans-high", "labyrinth", "vacation-low", "vacation-high"}
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engines"
+	"repro/internal/stamp"
+	"repro/internal/stamp/ssca2"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("empty geomean = %v", got)
+	}
+	if got := GeoMean([]float64{0, -1, 3}); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("geomean skipping nonpositive = %v, want 3", got)
+	}
+}
+
+func TestGeoDev(t *testing.T) {
+	if got := GeoDev([]float64{4, 4, 4}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("uniform geodev = %v, want 1", got)
+	}
+	if got := GeoDev(nil); got != 0 {
+		t.Fatalf("empty geodev = %v", got)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[float64]string{
+		12:        "12",
+		1500:      "1.5k",
+		2_500_000: "2.50M",
+		3e9:       "3.00G",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := NewTable("demo", "a", "bb")
+	tbl.AddRow("xxx", "y")
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "xxx") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestRunMicroCountsOps(t *testing.T) {
+	res, err := RunMicro("twm", CountersMicro(), 2, 30*time.Millisecond, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no ops recorded")
+	}
+	if res.Stats.Commits == 0 {
+		t.Fatalf("no commits recorded")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput())
+	}
+}
+
+func TestRunMicroProfiledFillsBreakdown(t *testing.T) {
+	res, err := RunMicroProfiled("tl2", DisjointMicro(DisjointConfig{ElementsPerList: 100, KeyRange: 200, Seed: 1}), 2, 30*time.Millisecond, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Txs == 0 || res.Breakdown.TotalUS() == 0 {
+		t.Fatalf("profile empty: %+v", res.Breakdown)
+	}
+}
+
+func TestRunStampValidates(t *testing.T) {
+	mk := func() stamp.Workload { return ssca2.New(ssca2.Small()) }
+	res, err := RunStamp("norec", mk, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Stats.Commits == 0 {
+		t.Fatalf("suspicious result: %+v", res)
+	}
+}
+
+func TestRunMicroUnknownEngine(t *testing.T) {
+	if _, err := RunMicro("nope", CountersMicro(), 1, time.Millisecond, 1, 0); err == nil {
+		t.Fatalf("expected error for unknown engine")
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	var s Summary
+	mk := func(engine string, threads int, ms int, aborts uint64) Result {
+		var st stm.Stats
+		for i := uint64(0); i < 100; i++ {
+			st.RecordCommit(false)
+		}
+		for i := uint64(0); i < aborts; i++ {
+			st.RecordAbort(stm.ReasonReadConflict)
+		}
+		return Result{Engine: engine, Threads: threads, Elapsed: time.Duration(ms) * time.Millisecond, Stats: st.Snapshot()}
+	}
+	s.Add("appA", []Result{mk("twm", 4, 100, 10), mk("tl2", 4, 200, 50)})
+	s.Add("appB", []Result{mk("twm", 4, 100, 0), mk("tl2", 4, 400, 100)})
+
+	var buf bytes.Buffer
+	s.Fig5iSpeedups(&buf, "twm")
+	out := buf.String()
+	// Speedups: appA 2x, appB 4x -> geomean sqrt(8) = 2.83x.
+	if !strings.Contains(out, "2.83x") {
+		t.Fatalf("speedup table missing geomean:\n%s", out)
+	}
+	buf.Reset()
+	s.Table2(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "Table 2 (left)") || !strings.Contains(out, "Table 2 (right)") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+	// tl2 appA abort rate = 50/150 = 33.3%.
+	if !strings.Contains(out, "33.3") {
+		t.Fatalf("abort rate missing:\n%s", out)
+	}
+}
+
+func TestMicroOpSignatureUsable(t *testing.T) {
+	// MicroOp receives a usable RNG stream.
+	var op MicroOp = func(id int, r *xrand.Rand) {
+		_ = r.Intn(10)
+	}
+	op(0, xrand.New(1))
+}
+
+func TestWriteCSV(t *testing.T) {
+	var st stm.Stats
+	st.RecordCommit(false)
+	st.RecordAbort(stm.ReasonReadConflict)
+	results := []Result{{
+		Engine:  "twm",
+		Threads: 4,
+		Ops:     100,
+		Elapsed: 250 * time.Millisecond,
+		Stats:   st.Snapshot(),
+	}}
+	var buf bytes.Buffer
+	if err := CSVHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&buf, "fig3", results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"experiment,engine", "fig3,twm,4,100,250.000,400.0,1,1,0.50000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWithYieldDelegation(t *testing.T) {
+	inner := engines.MustNew("twm")
+	tm := WithYield(inner, 1)
+	if tm.Name() != "twm" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+	if WithYield(inner, 0) != inner {
+		t.Fatalf("yieldEvery=0 must return the inner TM unchanged")
+	}
+	x := tm.NewVar(1)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		if !tx.ReadOnly() {
+			tx.Write(x, tx.Read(x).(int)+1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.Stats().Snapshot().Commits != 1 {
+		t.Fatalf("stats not delegated")
+	}
+	// History delegation (core implements it).
+	if h, ok := tm.(stm.HistoryRecording); !ok {
+		t.Fatalf("yield wrapper must forward HistoryRecording")
+	} else {
+		_ = h
+	}
+}

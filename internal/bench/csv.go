@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV appends results as machine-readable rows (one per engine×threads
+// cell) labelled with the experiment id, for plotting outside the text-table
+// pipeline. Columns: experiment, engine, threads, ops, elapsed_ms,
+// throughput_ops_s, commits, aborts, abort_rate, read_us, readsetval_us,
+// writesetval_us, commit_us.
+func WriteCSV(w io.Writer, experiment string, results []Result) error {
+	cw := csv.NewWriter(w)
+	for _, r := range results {
+		rec := []string{
+			experiment,
+			r.Engine,
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.3f", float64(r.Elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.1f", r.Throughput()),
+			fmt.Sprintf("%d", r.Stats.Commits),
+			fmt.Sprintf("%d", r.Stats.Aborts),
+			fmt.Sprintf("%.5f", r.Stats.AbortRate()),
+			fmt.Sprintf("%.3f", r.Breakdown.ReadUS),
+			fmt.Sprintf("%.3f", r.Breakdown.ReadSetValUS),
+			fmt.Sprintf("%.3f", r.Breakdown.WriteSetValUS),
+			fmt.Sprintf("%.3f", r.Breakdown.CommitUS),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVHeader writes the column header row.
+func CSVHeader(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"experiment", "engine", "threads", "ops", "elapsed_ms",
+		"throughput_ops_s", "commits", "aborts", "abort_rate",
+		"read_us", "readsetval_us", "writesetval_us", "commit_us",
+	}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

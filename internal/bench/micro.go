@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"repro/internal/ds/skiplist"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// SkipListConfig parameterizes the §5.1 microbenchmark.
+type SkipListConfig struct {
+	Elements  int     // initial set size
+	KeyRange  int64   // keys drawn from [0, KeyRange)
+	UpdatePct float64 // fraction of update transactions (rest are lookups)
+	Seed      uint64
+}
+
+// PaperSkipList is the configuration of Fig. 3 (100k elements, 25% updates),
+// with the key range at twice the size so inserts and removes balance.
+func PaperSkipList() SkipListConfig {
+	return SkipListConfig{Elements: 100_000, KeyRange: 200_000, UpdatePct: 0.25, Seed: 1}
+}
+
+// DefaultSkipList is a container-sized variant with the same shape. The set
+// is small enough that concurrent update paths overlap at the thread counts
+// of the sweep, which is what makes the paper's Fig. 3(b) abort-rate
+// separation visible without 64 hardware threads.
+func DefaultSkipList() SkipListConfig {
+	return SkipListConfig{Elements: 2_000, KeyRange: 4_000, UpdatePct: 0.25, Seed: 1}
+}
+
+// SkipListMicro is the Fig. 3(a)/(b) workload: lookups plus insert/remove
+// pairs over a shared skip list.
+func SkipListMicro(cfg SkipListConfig) Micro {
+	return Micro{
+		Name: "skiplist",
+		Prepare: func(tm stm.TM, threads int) (MicroOp, error) {
+			s := skiplist.New(tm)
+			r := xrand.New(cfg.Seed)
+			const batch = 256
+			for done := 0; done < cfg.Elements; {
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					for i := 0; i < batch && done < cfg.Elements; i++ {
+						if s.Insert(tx, r.Int63()%cfg.KeyRange) {
+							done++
+						}
+					}
+					return nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+			op := func(_ int, r *xrand.Rand) {
+				k := r.Int63() % cfg.KeyRange
+				if r.Float64() < cfg.UpdatePct {
+					insert := r.Bool(0.5)
+					_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+						if insert {
+							s.Insert(tx, k)
+						} else {
+							s.Remove(tx, k)
+						}
+						return nil
+					})
+				} else {
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						s.Contains(tx, k)
+						return nil
+					})
+				}
+			}
+			return op, nil
+		},
+	}
+}
+
+// CountersMicro is the Fig. 4(a) worst case: every transaction increments the
+// same two shared counters, a conflict pattern no engine can accommodate.
+func CountersMicro() Micro {
+	return Micro{
+		Name: "counters",
+		Prepare: func(tm stm.TM, threads int) (MicroOp, error) {
+			a := tm.NewVar(0)
+			b := tm.NewVar(0)
+			op := func(_ int, _ *xrand.Rand) {
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					tx.Write(a, tx.Read(a).(int)+1)
+					tx.Write(b, tx.Read(b).(int)+1)
+					return nil
+				})
+			}
+			return op, nil
+		},
+	}
+}
+
+// DisjointConfig parameterizes the conflict-free Fig. 4(b)/(c) workload.
+type DisjointConfig struct {
+	ElementsPerList int
+	KeyRange        int64
+	Seed            uint64
+}
+
+// DefaultDisjoint is the container-sized conflict-free configuration.
+func DefaultDisjoint() DisjointConfig {
+	return DisjointConfig{ElementsPerList: 2_000, KeyRange: 4_000, Seed: 1}
+}
+
+// DisjointMicro is the Fig. 4(b) workload: each worker updates a private skip
+// list, so transactions are write-heavy (100% updates) but conflict-free —
+// isolating the engines' fixed costs, which Fig. 4(c) then decomposes.
+func DisjointMicro(cfg DisjointConfig) Micro {
+	return Micro{
+		Name: "disjoint",
+		Prepare: func(tm stm.TM, threads int) (MicroOp, error) {
+			lists := make([]*skiplist.Set, threads)
+			r := xrand.New(cfg.Seed)
+			for i := range lists {
+				lists[i] = skiplist.New(tm)
+				const batch = 256
+				for done := 0; done < cfg.ElementsPerList; {
+					if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						for j := 0; j < batch && done < cfg.ElementsPerList; j++ {
+							if lists[i].Insert(tx, r.Int63()%cfg.KeyRange) {
+								done++
+							}
+						}
+						return nil
+					}); err != nil {
+						return nil, err
+					}
+				}
+			}
+			op := func(id int, r *xrand.Rand) {
+				s := lists[id]
+				k := r.Int63() % cfg.KeyRange
+				insert := r.Bool(0.5)
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					if insert {
+						s.Insert(tx, k)
+					} else {
+						s.Remove(tx, k)
+					}
+					return nil
+				})
+			}
+			return op, nil
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table for figure/table output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table, aligned, to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// GeoMean returns the geometric mean of xs (the paper's aggregation for
+// normalized speedups); zero and negative entries are skipped.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// GeoDev returns the geometric standard deviation factor of xs.
+func GeoDev(xs []float64) float64 {
+	gm := GeoMean(xs)
+	if gm == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			d := math.Log(x) - math.Log(gm)
+			sum += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(math.Sqrt(sum / float64(n)))
+}
+
+// FormatCount renders large counts compactly (e.g. 1.25M).
+func FormatCount(x float64) string {
+	switch {
+	case x >= 1e9:
+		return fmt.Sprintf("%.2fG", x/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", x/1e3)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"runtime"
+
+	"repro/internal/stm"
+)
+
+// WithYield wraps a TM so that every transaction yields the processor after
+// every `every`-th barrier (read or write). On the paper's 64-core machine,
+// transactions from different threads genuinely overlap in time; on a
+// single-core container they would otherwise run mostly back-to-back and
+// almost never conflict. Injected yields put scheduler preemption points
+// inside transactions, restoring the overlap that makes the paper's
+// contention patterns (stale reads, anti-dependencies, triads) reachable.
+// The cost is identical for every engine, so comparisons stay fair.
+//
+// every <= 0 returns tm unchanged.
+func WithYield(tm stm.TM, every int) stm.TM {
+	if every <= 0 {
+		return tm
+	}
+	return &yieldTM{inner: tm, every: every}
+}
+
+type yieldTM struct {
+	inner stm.TM
+	every int
+}
+
+func (y *yieldTM) Name() string { return y.inner.Name() }
+
+func (y *yieldTM) NewVar(initial stm.Value) stm.Var { return y.inner.NewVar(initial) }
+
+func (y *yieldTM) Begin(readOnly bool) stm.Tx {
+	return &yieldTx{inner: y.inner.Begin(readOnly), every: y.every}
+}
+
+func (y *yieldTM) Commit(tx stm.Tx) bool { return y.inner.Commit(tx.(*yieldTx).inner) }
+
+func (y *yieldTM) Abort(tx stm.Tx) { y.inner.Abort(tx.(*yieldTx).inner) }
+
+func (y *yieldTM) Stats() *stm.Stats { return y.inner.Stats() }
+
+// SetProfiler implements stm.Profilable when the inner engine does.
+func (y *yieldTM) SetProfiler(p *stm.Profiler) {
+	if prof, ok := y.inner.(stm.Profilable); ok {
+		prof.SetProfiler(p)
+	}
+}
+
+// EnableHistory implements stm.HistoryRecording when the inner engine does.
+func (y *yieldTM) EnableHistory() {
+	if h, ok := y.inner.(stm.HistoryRecording); ok {
+		h.EnableHistory()
+	}
+}
+
+// History implements stm.HistoryRecording when the inner engine does.
+func (y *yieldTM) History(v stm.Var) []stm.VersionRecord {
+	if h, ok := y.inner.(stm.HistoryRecording); ok {
+		return h.History(v)
+	}
+	return nil
+}
+
+type yieldTx struct {
+	inner stm.Tx
+	every int
+	n     int
+}
+
+func (t *yieldTx) maybeYield() {
+	t.n++
+	if t.n >= t.every {
+		t.n = 0
+		runtime.Gosched()
+	}
+}
+
+func (t *yieldTx) Read(v stm.Var) stm.Value {
+	t.maybeYield()
+	return t.inner.Read(v)
+}
+
+func (t *yieldTx) Write(v stm.Var, val stm.Value) {
+	t.maybeYield()
+	t.inner.Write(v, val)
+}
+
+func (t *yieldTx) ReadOnly() bool { return t.inner.ReadOnly() }

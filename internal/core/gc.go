@@ -1,0 +1,68 @@
+package core
+
+// Multi-version garbage collection (§3.4 of the paper): with k the start
+// timestamp of the oldest active transaction, every version strictly older
+// than the newest version visible at k can never again be read — the newest
+// version with natOrder <= k and twOrder <= k satisfies every active and
+// future snapshot, and the paper's argument shows no future commit can
+// time-warp below k (such a transaction would need a concurrent
+// anti-dependent committer with natOrder < k, contradicting k's minimality).
+
+import "repro/internal/stm"
+
+// maybeGC runs a collection pass every Options.GCEveryNCommits update commits.
+func (tm *TM) maybeGC() {
+	every := tm.opts.GCEveryNCommits
+	if every < 0 {
+		return
+	}
+	if tm.gcCount.Add(1)%uint64(every) != 0 {
+		return
+	}
+	tm.GC()
+}
+
+// GC trims version lists down to the oldest version any active or future
+// transaction can observe. It skips variables whose commit lock is busy (the
+// next pass will get them) and returns the number of versions released.
+func (tm *TM) GC() int {
+	// Passes are serialized so each pass's bound is at least its
+	// predecessor's; an older bound walking a list truncated by a newer pass
+	// would run off the tail.
+	tm.gcMu.Lock()
+	defer tm.gcMu.Unlock()
+	bound := tm.active.MinStart(tm.clock.Load())
+	tm.varsMu.Lock()
+	vars := tm.vars // snapshot; vars are append-only
+	tm.varsMu.Unlock()
+
+	freed := 0
+	for _, v := range vars {
+		if !v.owner.CompareAndSwap(nil, gcOwner) {
+			continue // busy committer; skip
+		}
+		ver := v.latest.Load()
+		for ver.natOrder > bound || ver.twOrder > bound {
+			ver = ver.next.Load()
+		}
+		// ver is the newest version visible at bound; everything older is
+		// unreachable by any current or future snapshot.
+		for tail := ver.next.Load(); tail != nil; tail = tail.next.Load() {
+			freed++
+		}
+		ver.next.Store(nil)
+		v.owner.CompareAndSwap(gcOwner, nil)
+	}
+	return freed
+}
+
+// VersionCount returns the number of live versions of v (including the
+// oldest retained one). Exposed for tests and the GC ablation benchmark.
+func (tm *TM) VersionCount(v stm.Var) int {
+	tv := v.(*twvar)
+	n := 0
+	for ver := tv.latest.Load(); ver != nil; ver = ver.next.Load() {
+		n++
+	}
+	return n
+}

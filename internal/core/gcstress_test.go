@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// TestGCUnderLoad hammers a small variable set with writers, long-running
+// readers and aggressive automatic GC simultaneously, then verifies both
+// application-level consistency and that the version lists were actually
+// trimmed.
+func TestGCUnderLoad(t *testing.T) {
+	tm := New(Options{GCEveryNCommits: 16})
+	const nv = 8
+	const pairSum = 800
+	vars := make([]stm.Var, nv)
+	for i := range vars {
+		vars[i] = tm.NewVar(pairSum / nv)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ { // transfer writers preserve the total
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := seed
+			next := func(n int) int {
+				r ^= r << 13
+				r ^= r >> 7
+				r ^= r << 17
+				return int(r % uint64(n))
+			}
+			for i := 0; i < 400; i++ {
+				from, to := next(nv), next(nv)
+				if from == to {
+					continue
+				}
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					f := tx.Read(vars[from]).(int)
+					if f < 1 {
+						return nil
+					}
+					tx.Write(vars[from], f-1)
+					tx.Write(vars[to], tx.Read(vars[to]).(int)+1)
+					return nil
+				})
+			}
+		}(uint64(g)*77 + 13)
+	}
+	wg.Add(1)
+	go func() { // long-running read-only snapshots across GC passes
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tx := tm.Begin(true)
+			sum := 0
+			for _, v := range vars {
+				sum += tx.Read(v).(int)
+			}
+			if sum != pairSum {
+				t.Errorf("snapshot sum = %d, want %d", sum, pairSum)
+			}
+			if !tm.Commit(tx) {
+				t.Errorf("read-only commit failed")
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // explicit GC pressure on top of the automatic passes
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tm.GC()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Final consistency and bounded version lists.
+	tm.GC()
+	total := 0
+	tx := tm.Begin(true)
+	for _, v := range vars {
+		total += tx.Read(v).(int)
+	}
+	tm.Commit(tx)
+	if total != pairSum {
+		t.Fatalf("final sum = %d, want %d", total, pairSum)
+	}
+	for i, v := range vars {
+		if n := tm.VersionCount(v); n > 2 {
+			t.Fatalf("var %d retains %d versions after quiescent GC", i, n)
+		}
+	}
+}
+
+// TestGCConcurrentPassesDoNotInterfere runs many concurrent GC passes
+// against a mutating workload (regression for the serialized-bound fix).
+func TestGCConcurrentPassesDoNotInterfere(t *testing.T) {
+	tm := New(Options{GCEveryNCommits: 8})
+	x := tm.NewVar(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					tx.Write(x, tx.Read(x).(int)+1)
+					return nil
+				})
+				if i%10 == 0 {
+					tm.GC()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ro := tm.Begin(true)
+	if got := ro.Read(x); got != 4*300 {
+		t.Fatalf("counter = %v, want %d", got, 4*300)
+	}
+	tm.Commit(ro)
+}

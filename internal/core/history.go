@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// historyLog records committed versions of one variable for the DSG
+// serializability oracle (internal/dsg). Appends happen under the variable's
+// commit lock; the mutex additionally orders them against post-run readers.
+type historyLog struct {
+	mu      sync.Mutex
+	records []stm.VersionRecord
+}
+
+func (h *historyLog) append(r stm.VersionRecord) {
+	h.mu.Lock()
+	h.records = append(h.records, r)
+	h.mu.Unlock()
+}
+
+// EnableHistory implements stm.HistoryRecording. It must be called before any
+// variable is created.
+func (tm *TM) EnableHistory() { tm.history.Store(true) }
+
+// History implements stm.HistoryRecording: committed versions of v in TWM's
+// serialization order O — ascending twOrder, ties (time-warp clashes) broken
+// in inverse natural order (§4 of the paper).
+func (tm *TM) History(v stm.Var) []stm.VersionRecord {
+	tv := v.(*twvar)
+	if tv.hist == nil {
+		return nil
+	}
+	tv.hist.mu.Lock()
+	out := make([]stm.VersionRecord, len(tv.hist.records))
+	copy(out, tv.hist.records)
+	tv.hist.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Serial != out[j].Serial {
+			return out[i].Serial < out[j].Serial
+		}
+		return out[i].Tie > out[j].Tie
+	})
+	return out
+}

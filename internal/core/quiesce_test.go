@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+)
+
+func TestQuiesceNoActivity(t *testing.T) {
+	tm := newTM()
+	done := make(chan struct{})
+	go func() {
+		tm.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Quiesce hung with no active transactions")
+	}
+}
+
+func TestQuiesceWaitsForActive(t *testing.T) {
+	tm := newTM()
+	x := tm.NewVar(0)
+
+	tx := tm.Begin(false)
+	tx.Read(x)
+
+	released := make(chan struct{})
+	quiesced := make(chan struct{})
+	go func() {
+		tm.Quiesce()
+		close(quiesced)
+	}()
+
+	select {
+	case <-quiesced:
+		t.Fatalf("Quiesce returned while a transaction was active")
+	case <-time.After(50 * time.Millisecond):
+	}
+	tm.Abort(tx)
+	close(released)
+	select {
+	case <-quiesced:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Quiesce did not return after the transaction finished")
+	}
+	<-released
+}
+
+func TestQuiesceIgnoresLaterTransactions(t *testing.T) {
+	// Transactions that begin after the fence must not delay quiescence:
+	// start a continuous stream of new transactions and check Quiesce still
+	// returns.
+	tm := newTM()
+	x := tm.NewVar(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+				tx.Write(x, tx.Read(x).(int)+1)
+				return nil
+			})
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		tm.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Quiesce starved by later transactions")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPrivatizationPattern(t *testing.T) {
+	// The privatization idiom: detach a structure transactionally, quiesce,
+	// then read it non-transactionally. The detached value must reflect all
+	// transactional updates, including time-warped ones.
+	tm := newTM()
+	shared := tm.NewVar(0)
+	handle := tm.NewVar(true) // true = shared, false = privatized
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					if !tx.Read(handle).(bool) {
+						return nil // already privatized
+					}
+					tx.Write(shared, tx.Read(shared).(int)+1)
+					return nil
+				})
+			}
+		}()
+	}
+
+	// Privatize midway.
+	time.Sleep(time.Millisecond)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		tx.Write(handle, false)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tm.Quiesce()
+
+	// Safe non-transactional read: snapshot via a read-only transaction is
+	// used here only to extract the value; after quiescence no concurrent
+	// writer can still commit into the privatized variable.
+	var frozen int
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		frozen = tx.Read(shared).(int)
+		return nil
+	})
+	wg.Wait()
+	var final int
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		final = tx.Read(shared).(int)
+		return nil
+	})
+	if frozen != final {
+		t.Fatalf("writes slipped past privatization: %d then %d", frozen, final)
+	}
+}

@@ -1,0 +1,528 @@
+// Package core implements the Time-Warp Multi-version (TWM) software
+// transactional memory algorithm of Diegues and Romano (PPoPP 2014),
+// Algorithms 1 and 2, together with the surrounding machinery the paper
+// describes in prose: the two commit time lines (natural order and time-warp
+// order), semi-visible reads, triad validation, time-warp clash elision,
+// an active-transaction registry, and multi-version garbage collection.
+//
+// Key properties (argued in §4 of the paper and checked by this package's
+// tests and the internal/dsg oracle):
+//
+//   - committed transactions are serializable; the serialization order is the
+//     time-warp order TW, with clashes broken in inverse natural order;
+//   - read-only transactions never abort and never validate
+//     (mv-permissiveness);
+//   - all transactions, including aborted ones, observe snapshots producible
+//     by some sequential history (Virtual World Consistency).
+//
+// The paper's prototype uses the lock-free commit of JVSTM; as the paper
+// notes, that concern is orthogonal to time-warping, and Algorithms 1-2 are
+// presented with per-variable commit locks. This implementation follows the
+// lock-based presentation, acquiring write-set locks in variable-id order and
+// bounding every lock wait that could participate in a cycle with a
+// spin-then-self-abort (which can only add safe, rare aborts).
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mvutil"
+	"repro/internal/stm"
+)
+
+// Options tunes a TWM instance. The zero value is the paper's algorithm with
+// sensible defaults.
+type Options struct {
+	// DisableTimeWarp turns off Rules 1-2: any anti-dependency discovered at
+	// commit aborts the transaction (the classic validation rule). The engine
+	// then degenerates to a JVSTM-style multi-version STM; this is the
+	// ablation that isolates the benefit of time-warp commits.
+	DisableTimeWarp bool
+	// GCEveryNCommits triggers a version garbage-collection pass each time
+	// this many update transactions have committed. 0 selects the default;
+	// negative disables automatic GC (tests use this to inspect version
+	// lists).
+	GCEveryNCommits int
+	// LockSpinBudget bounds the spin iterations an update transaction waits
+	// on a peer's commit lock before self-aborting. 0 selects the default.
+	LockSpinBudget int
+	// Opacity enables the extension sketched in §4.2 of the paper:
+	// update transactions read with the read-only visibility rule (newest
+	// version with twOrder <= start, time-warped versions included) and
+	// perform semi-visible reads during execution, homogenizing the
+	// serialization order perceived by all transactions. Commit-time
+	// anti-dependency detection then keys on twOrder instead of natOrder.
+	// See opacity.go.
+	Opacity bool
+}
+
+const (
+	defaultGCEvery   = 4096
+	defaultSpinLimit = 2048
+)
+
+// TM is a Time-Warp Multi-version transactional memory instance.
+type TM struct {
+	opts  Options
+	clock atomic.Uint64 // the shared logical clock defining N and S
+	stats stm.Stats
+	prof  atomic.Pointer[stm.Profiler]
+
+	active  *mvutil.ActiveSet
+	gcCount atomic.Uint64
+	gcMu    sync.Mutex
+
+	varsMu  sync.Mutex
+	vars    []*twvar
+	history atomic.Bool
+}
+
+// New returns a TWM instance with the given options.
+func New(opts Options) *TM {
+	if opts.GCEveryNCommits == 0 {
+		opts.GCEveryNCommits = defaultGCEvery
+	}
+	if opts.LockSpinBudget == 0 {
+		opts.LockSpinBudget = defaultSpinLimit
+	}
+	if opts.Opacity && opts.DisableTimeWarp {
+		panic("core: Opacity and DisableTimeWarp are mutually exclusive")
+	}
+	tm := &TM{opts: opts}
+	// Start the clock at 1 so the zero readStamp of a never-read variable can
+	// never satisfy the readStamp >= start target check (initial versions
+	// keep natOrder = twOrder = 0 and are visible to every snapshot).
+	tm.clock.Store(1)
+	tm.active = mvutil.NewActiveSet()
+	return tm
+}
+
+// Name implements stm.TM.
+func (tm *TM) Name() string {
+	switch {
+	case tm.opts.DisableTimeWarp:
+		return "twm-notw"
+	case tm.opts.Opacity:
+		return "twm-opaque"
+	}
+	return "twm"
+}
+
+// MultiVersion implements stm.MultiVersioned.
+func (tm *TM) MultiVersion() bool { return true }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() *stm.Stats { return &tm.stats }
+
+// SetProfiler implements stm.Profilable.
+func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
+
+// Clock exposes the current logical clock value (tests and examples).
+func (tm *TM) Clock() uint64 { return tm.clock.Load() }
+
+// CommitOrders reports the natural and time-warp commit orders assigned to a
+// committed update transaction of this TM (both zero before commit). A
+// transaction time-warp committed iff tw < nat. Exposed for tests, examples
+// and instrumentation.
+func (tm *TM) CommitOrders(txi stm.Tx) (nat, tw uint64) {
+	tx := txi.(*txn)
+	return tx.natOrder, tx.twOrder
+}
+
+// Start reports S(tx), the snapshot timestamp assigned at Begin (tests and
+// instrumentation).
+func (tm *TM) Start(txi stm.Tx) uint64 { return txi.(*txn).start }
+
+// version is one committed value of a variable. Versions form a singly linked
+// list from newest to oldest in descending twOrder; natOrder breaks no ties in
+// the list because time-warp clashes are elided (paper lines 31-32).
+type version struct {
+	value    stm.Value
+	natOrder uint64
+	twOrder  uint64
+	next     atomic.Pointer[version]
+}
+
+// timeWarped reports whether the version was produced by a time-warp commit.
+func (v *version) timeWarped() bool { return v.natOrder != v.twOrder }
+
+// twvar is the concrete transactional variable (Table 1's Var struct).
+type twvar struct {
+	id        uint64
+	owner     atomic.Pointer[txn] // commit lock; nil means unlocked
+	latest    atomic.Pointer[version]
+	readStamp atomic.Uint64 // semi-visible read stamp
+
+	hist *historyLog // non-nil only when history recording is enabled
+}
+
+// NewVar implements stm.TM.
+func (tm *TM) NewVar(initial stm.Value) stm.Var {
+	v := &twvar{}
+	root := &version{value: initial}
+	v.latest.Store(root)
+	if tm.history.Load() {
+		v.hist = &historyLog{}
+	}
+	tm.varsMu.Lock()
+	v.id = uint64(len(tm.vars)) + 1
+	tm.vars = append(tm.vars, v)
+	tm.varsMu.Unlock()
+	return v
+}
+
+// gcOwner is the sentinel lock holder used by the garbage collector.
+var gcOwner = new(txn)
+
+// lock attempts to acquire v's commit lock for tx, spinning up to budget
+// iterations. It reports whether the lock was acquired.
+func (v *twvar) lock(tx *txn, budget int) bool {
+	for i := 0; ; i++ {
+		if v.owner.CompareAndSwap(nil, tx) {
+			return true
+		}
+		if i >= budget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+func (v *twvar) unlock(tx *txn) { v.owner.CompareAndSwap(tx, nil) }
+
+// waitUnlocked spins until v is unlocked or held by self (self may be nil).
+// A negative budget waits forever (used by read-only transactions, which must
+// never abort; they hold no locks, so the wait always terminates).
+// It reports false if the budget expired.
+func (v *twvar) waitUnlocked(self *txn, budget int) bool {
+	for i := 0; ; i++ {
+		o := v.owner.Load()
+		if o == nil || o == self {
+			return true
+		}
+		if budget >= 0 && i >= budget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// semiVisibleRead advances v's readStamp to at least ts via a CAS maximum
+// (paper's SEMIVISIBLEREAD): readers are visible in aggregate, without
+// tracking individual reader identities.
+func (v *twvar) semiVisibleRead(ts uint64) {
+	for {
+		last := v.readStamp.Load()
+		if last >= ts || v.readStamp.CompareAndSwap(last, ts) {
+			return
+		}
+	}
+}
+
+// txn is a TWM transaction (Table 1's Tx struct).
+type txn struct {
+	tm       *TM
+	readOnly bool
+	start    uint64 // S(tx)
+
+	readSet   []*twvar
+	writeSet  map[*twvar]stm.Value
+	writeVars []*twvar // insertion-ordered keys of writeSet
+
+	source     bool   // tx is the source of an anti-dependency edge
+	target     bool   // tx is the target of an anti-dependency edge
+	minAntiDep uint64 // min natOrder over anti-dependent committers; 0 = none
+	natOrder   uint64 // N(tx), assigned at commit
+	twOrder    uint64 // TW(tx), assigned at commit
+
+	locked []*twvar // commit locks currently held (for failure cleanup)
+	slot   *mvutil.Slot
+}
+
+// ReadOnly implements stm.Tx.
+func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// Begin implements stm.TM. The returned transaction observes the snapshot
+// defined by the logical clock at this instant (S(tx)).
+func (tm *TM) Begin(readOnly bool) stm.Tx {
+	tm.stats.RecordStart()
+	tx := &txn{tm: tm, readOnly: readOnly}
+	// Register in the active set before sampling the start timestamp so the
+	// garbage collector can never trim a version this transaction may read:
+	// the registered value is <= start, hence the GC bound is too.
+	c0 := tm.clock.Load()
+	tx.slot = tm.active.Register(c0)
+	tx.start = tm.clock.Load()
+	if !readOnly {
+		tx.writeSet = make(map[*twvar]stm.Value, 8)
+	}
+	return tx
+}
+
+// Read implements stm.Tx (paper's READ plus SEMIVISIBLEREAD).
+func (tx *txn) Read(v stm.Var) stm.Value {
+	tv := v.(*twvar)
+	prof := tx.tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	var out stm.Value
+	switch {
+	case tx.readOnly:
+		out = tx.readRO(tv)
+	case tx.tm.opts.Opacity:
+		out = tx.readOpaque(tv)
+	default:
+		out = tx.readUpdate(tv)
+	}
+	if prof != nil {
+		prof.AddRead(prof.Now() - t0)
+	}
+	return out
+}
+
+// readRO is the read-only visibility rule: semi-visible read, then the newest
+// version with twOrder <= start (time-warp committed versions included).
+func (tx *txn) readRO(tv *twvar) stm.Value {
+	// The semi-visible read must precede the lock wait so that a concurrent
+	// committer either observes the raised readStamp (and raises its target
+	// flag) or has already published its versions before we traverse.
+	tv.semiVisibleRead(tx.tm.clock.Load())
+	tv.waitUnlocked(nil, -1)
+	ver := tv.latest.Load()
+	for ver.twOrder > tx.start {
+		ver = ver.next.Load()
+	}
+	return ver.value
+}
+
+// readUpdate is the update-transaction visibility rule: both twOrder and
+// natOrder must be <= start, and skipping a version produced by a concurrent
+// time-warp commit is an early Rule 2 abort.
+func (tx *txn) readUpdate(tv *twvar) stm.Value {
+	if val, ok := tx.writeSet[tv]; ok {
+		return val // read-after-write
+	}
+	tx.readSet = append(tx.readSet, tv)
+	if !tv.waitUnlocked(tx, tx.tm.opts.LockSpinBudget) {
+		tx.tm.stats.RecordAbort(stm.ReasonLockTimeout)
+		stm.Retry(stm.ReasonLockTimeout)
+	}
+	ver := tv.latest.Load()
+	for ver.twOrder > tx.start || ver.natOrder > tx.start {
+		if ver.timeWarped() {
+			tx.tm.stats.RecordAbort(stm.ReasonTimeWarpSkip)
+			stm.Retry(stm.ReasonTimeWarpSkip)
+		}
+		ver = ver.next.Load()
+	}
+	return ver.value
+}
+
+// Write implements stm.Tx: writes are privately buffered until commit.
+func (tx *txn) Write(v stm.Var, val stm.Value) {
+	if tx.readOnly {
+		panic("core: Write on a read-only transaction")
+	}
+	tv := v.(*twvar)
+	if _, ok := tx.writeSet[tv]; !ok {
+		tx.writeVars = append(tx.writeVars, tv)
+	}
+	tx.writeSet[tv] = val
+}
+
+// Abort implements stm.TM: cleanup after a retry signal or user abort.
+// Statistics for engine-initiated aborts are recorded at the abort site, where
+// the reason is known.
+func (tm *TM) Abort(txi stm.Tx) {
+	tx := txi.(*txn)
+	tx.releaseLocks()
+	tm.active.Unregister(tx.slot)
+	tx.slot = nil
+}
+
+func (tx *txn) releaseLocks() {
+	for _, v := range tx.locked {
+		v.unlock(tx)
+	}
+	tx.locked = tx.locked[:0]
+}
+
+// Commit implements stm.TM (paper's COMMIT, HANDLEWRITE, HANDLEREAD and
+// CREATENEWVERSION). It returns false when the transaction must be retried;
+// all cleanup has already happened in that case.
+func (tm *TM) Commit(txi stm.Tx) bool {
+	tx := txi.(*txn)
+	defer func() {
+		tm.active.Unregister(tx.slot)
+		tx.slot = nil
+	}()
+
+	if tx.readOnly || len(tx.writeSet) == 0 {
+		// Read-only transactions never validate and never abort. An update
+		// transaction that wrote nothing also commits unvalidated: in the
+		// default mode its visibility rule early-aborts on any concurrently
+		// time-warped version, so its snapshot is the committed state at
+		// S(tx); in opacity mode its reads already follow the read-only
+		// rule. Writing nothing, it cannot be the target of an
+		// anti-dependency, so no triad can pivot on it.
+		tm.stats.RecordCommit(tx.readOnly)
+		return true
+	}
+
+	prof := tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+		defer prof.AddTx()
+	}
+
+	// HANDLEWRITE: acquire commit locks in id order (deadlock avoidance) and
+	// detect anti-dependencies targeting tx via the semi-visible read stamps.
+	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
+	budget := tm.opts.LockSpinBudget
+	for _, v := range tx.writeVars {
+		if !v.lock(tx, budget) {
+			return tm.failCommit(tx, stm.ReasonLockTimeout)
+		}
+		tx.locked = append(tx.locked, v)
+		if v.readStamp.Load() > tx.start {
+			// Some transaction concurrent with tx read a variable tx is
+			// about to overwrite: tx is the target of an anti-dependency.
+			// (The paper checks >= with stamps taken before the stamper's
+			// clock increment; our stamps are taken after it, so the strict
+			// inequality is the same condition: a reader stamped at or below
+			// our start serializes at or below it, while any time-warp
+			// destination of ours exceeds start.)
+			tx.target = true
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddWriteSetVal(now - t0)
+		t0 = now
+	}
+
+	// Assign the natural commit order N(tx) *before* scanning the read set.
+	// The paper presents the increment after validation (line 65), relying on
+	// the atomicity of its lock-free commit; in a lock-based commit that
+	// order admits a race in which two committers scan before either inserts
+	// and both miss the other's anti-dependency. With the increment first,
+	// the scan below provably observes every version of every committer with
+	// a smaller N: such a committer already held all its write locks when it
+	// drew its timestamp, and it releases each lock only after inserting into
+	// that variable — so the lock wait in the scan orders us behind it.
+	tx.natOrder = tm.clock.Add(1)
+
+	// HANDLEREAD: make the reads visible, then detect anti-dependencies
+	// originating at tx (versions of read variables committed after start).
+	for _, v := range tx.readSet {
+		v.semiVisibleRead(tm.clock.Load())
+		if !v.waitUnlocked(tx, budget) {
+			return tm.failCommit(tx, stm.ReasonLockTimeout)
+		}
+		ver := v.latest.Load()
+		if tm.opts.Opacity {
+			if !tx.scanOpaque(ver) {
+				return tm.failCommit(tx, stm.ReasonTimeWarpSkip)
+			}
+			continue
+		}
+		for ver.natOrder > tx.start {
+			if tm.opts.DisableTimeWarp {
+				// Ablation: classic validation rejects any stale read.
+				return tm.failCommit(tx, stm.ReasonReadConflict)
+			}
+			if ver.timeWarped() {
+				// Rule 2: the writer time-warp committed; if tx committed
+				// now the writer would become a time-warping pivot (and if
+				// the writer serialized after us in N, its warp destination
+				// is unordered against ours).
+				return tm.failCommit(tx, stm.ReasonTimeWarpSkip)
+			}
+			if ver.natOrder < tx.natOrder {
+				// The writer committed between our start and our own commit
+				// without time-warping: a genuine anti-dependency; Rule 1
+				// serializes us before the earliest such writer.
+				if tx.minAntiDep == 0 || ver.natOrder < tx.minAntiDep {
+					tx.minAntiDep = ver.natOrder
+				}
+				tx.source = true
+			}
+			// Versions with natOrder > ours belong to committers that will
+			// serialize after us at their own (un-warped) natural position;
+			// our twOrder <= natOrder < theirs already orders us first.
+			ver = ver.next.Load()
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddReadSetVal(now - t0)
+		t0 = now
+	}
+
+	// Rule 2: tx may not become a time-warping pivot.
+	if tx.target && tx.source {
+		return tm.failCommit(tx, stm.ReasonTriad)
+	}
+
+	// Rule 1: assign the time-warp commit order.
+	if tx.minAntiDep == 0 {
+		tx.twOrder = tx.natOrder
+	} else {
+		tx.twOrder = tx.minAntiDep // time-warp commit, before every missed writer
+	}
+
+	for _, v := range tx.writeVars {
+		tm.createNewVersion(tx, v, tx.writeSet[v])
+		v.unlock(tx)
+	}
+	tx.locked = tx.locked[:0]
+	if prof != nil {
+		prof.AddCommit(prof.Now() - t0)
+	}
+	tm.stats.RecordCommit(false)
+	tm.maybeGC()
+	return true
+}
+
+// failCommit records the abort, releases held locks and reports failure.
+func (tm *TM) failCommit(tx *txn, reason stm.AbortReason) bool {
+	tx.releaseLocks()
+	tm.stats.RecordAbort(reason)
+	return false
+}
+
+// createNewVersion inserts tx's write to v in descending twOrder. On a
+// time-warp clash (equal twOrder) the insertion is skipped: clashing
+// transactions serialize in inverse natural order, so the version of the
+// earliest natural committer — which, holding the commit lock, necessarily
+// inserted first — is the one later transactions must not shadow.
+func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value) {
+	var newer *version
+	older := v.latest.Load()
+	for tx.twOrder < older.twOrder {
+		newer = older
+		older = older.next.Load()
+	}
+	if tx.twOrder == older.twOrder {
+		if v.hist != nil {
+			v.hist.append(stm.VersionRecord{Value: val, Serial: tx.twOrder, Tie: tx.natOrder, Elided: true})
+		}
+		return // no transaction will ever read this value
+	}
+	ver := &version{value: val, natOrder: tx.natOrder, twOrder: tx.twOrder}
+	ver.next.Store(older)
+	if newer == nil {
+		v.latest.Store(ver)
+	} else {
+		newer.next.Store(ver)
+	}
+	if v.hist != nil {
+		v.hist.append(stm.VersionRecord{Value: val, Serial: tx.twOrder, Tie: tx.natOrder})
+	}
+}

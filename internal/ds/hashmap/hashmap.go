@@ -1,0 +1,138 @@
+// Package hashmap is a transactional chained hash map from int64 keys to
+// arbitrary values with a fixed bucket array. Each bucket holds an immutable
+// entry chain behind one transactional variable, so a lookup reads exactly
+// one Var and an update conflicts only with operations on the same bucket —
+// the access pattern of the STAMP genome/intruder/vacation hash tables.
+package hashmap
+
+import "repro/internal/stm"
+
+// entry is an immutable chain cell; updates rebuild the affected prefix.
+type entry struct {
+	key  int64
+	val  stm.Value
+	next *entry
+}
+
+// Map is a transactional hash map.
+type Map struct {
+	tm      stm.TM
+	buckets []stm.Var // each holds *entry
+	mask    uint64
+}
+
+// New returns a map with capacity rounded up to a power of two (minimum 16).
+// Choose capacity near the expected element count to keep chains short.
+func New(tm stm.TM, capacity int) *Map {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	m := &Map{tm: tm, buckets: make([]stm.Var, n), mask: uint64(n - 1)}
+	for i := range m.buckets {
+		m.buckets[i] = tm.NewVar((*entry)(nil))
+	}
+	return m
+}
+
+func (m *Map) bucket(k int64) stm.Var {
+	z := uint64(k) * 0x9E3779B97F4A7C15
+	z ^= z >> 32
+	return m.buckets[z&m.mask]
+}
+
+func chainOf(tx stm.Tx, v stm.Var) *entry {
+	val := tx.Read(v)
+	if val == nil {
+		return nil
+	}
+	return val.(*entry)
+}
+
+// Get returns the value stored at k.
+func (m *Map) Get(tx stm.Tx, k int64) (stm.Value, bool) {
+	for e := chainOf(tx, m.bucket(k)); e != nil; e = e.next {
+		if e.key == k {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether k is present.
+func (m *Map) Contains(tx stm.Tx, k int64) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Put inserts or updates k and reports whether a new key was inserted.
+func (m *Map) Put(tx stm.Tx, k int64, val stm.Value) bool {
+	b := m.bucket(k)
+	head := chainOf(tx, b)
+	for e := head; e != nil; e = e.next {
+		if e.key == k {
+			tx.Write(b, replace(head, e, &entry{key: k, val: val, next: e.next}))
+			return false
+		}
+	}
+	tx.Write(b, &entry{key: k, val: val, next: head})
+	return true
+}
+
+// PutIfAbsent inserts k only if missing, returning the resident value and
+// whether an insert happened (the genome segment-dedup primitive).
+func (m *Map) PutIfAbsent(tx stm.Tx, k int64, val stm.Value) (stm.Value, bool) {
+	b := m.bucket(k)
+	head := chainOf(tx, b)
+	for e := head; e != nil; e = e.next {
+		if e.key == k {
+			return e.val, false
+		}
+	}
+	tx.Write(b, &entry{key: k, val: val, next: head})
+	return val, true
+}
+
+// Delete removes k and reports whether it was present.
+func (m *Map) Delete(tx stm.Tx, k int64) bool {
+	b := m.bucket(k)
+	head := chainOf(tx, b)
+	for e := head; e != nil; e = e.next {
+		if e.key == k {
+			tx.Write(b, replace(head, e, e.next))
+			return true
+		}
+	}
+	return false
+}
+
+// replace rebuilds the chain prefix up to victim, splicing in repl (which may
+// be victim's successor for deletion).
+func replace(head, victim, repl *entry) *entry {
+	if head == victim {
+		return repl
+	}
+	return &entry{key: head.key, val: head.val, next: replace(head.next, victim, repl)}
+}
+
+// Len counts entries (reads every bucket).
+func (m *Map) Len(tx stm.Tx) int {
+	n := 0
+	for _, b := range m.buckets {
+		for e := chainOf(tx, b); e != nil; e = e.next {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits all entries in unspecified order; fn returning false stops.
+func (m *Map) ForEach(tx stm.Tx, fn func(k int64, v stm.Value) bool) {
+	for _, b := range m.buckets {
+		for e := chainOf(tx, b); e != nil; e = e.next {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package hashmap_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/hashmap"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestModelSequential(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := hashmap.New(tm, 32) // small capacity forces chains
+			model := map[int64]string{}
+			r := xrand.New(3)
+			for i := 0; i < 600; i++ {
+				k := int64(r.Intn(90))
+				switch r.Intn(4) {
+				case 0, 1:
+					val := string(rune('a' + i%26))
+					err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						_, had := model[k]
+						if got := m.Put(tx, k, val); got != !had {
+							t.Errorf("Put(%d) inserted=%v, want %v", k, got, !had)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					model[k] = val
+				case 2:
+					err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						_, had := model[k]
+						if got := m.Delete(tx, k); got != had {
+							t.Errorf("Delete(%d) = %v, want %v", k, got, had)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					delete(model, k)
+				default:
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						v, ok := m.Get(tx, k)
+						want, had := model[k]
+						if ok != had || (ok && v.(string) != want) {
+							t.Errorf("Get(%d) = %v,%v want %v,%v", k, v, ok, want, had)
+						}
+						return nil
+					})
+				}
+			}
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := m.Len(tx); got != len(model) {
+					t.Errorf("Len = %d, model %d", got, len(model))
+				}
+				count := 0
+				m.ForEach(tx, func(k int64, v stm.Value) bool {
+					count++
+					if want, ok := model[k]; !ok || v.(string) != want {
+						t.Errorf("ForEach stray entry %d=%v", k, v)
+					}
+					return true
+				})
+				if count != len(model) {
+					t.Errorf("ForEach visited %d, want %d", count, len(model))
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestPutIfAbsent(t *testing.T) {
+	tm := engines.MustNew("twm")
+	m := hashmap.New(tm, 16)
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		if v, inserted := m.PutIfAbsent(tx, 1, "first"); !inserted || v != "first" {
+			t.Errorf("first PutIfAbsent = %v,%v", v, inserted)
+		}
+		if v, inserted := m.PutIfAbsent(tx, 1, "second"); inserted || v != "first" {
+			t.Errorf("second PutIfAbsent = %v,%v", v, inserted)
+		}
+		return nil
+	})
+}
+
+func TestCapacityRounding(t *testing.T) {
+	f := func(c uint8) bool {
+		tm := engines.MustNew("norec")
+		m := hashmap.New(tm, int(c))
+		// Insert a handful of keys and find them all again.
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for k := int64(0); k < 20; k++ {
+				m.Put(tx, k*7, k)
+			}
+			for k := int64(0); k < 20; k++ {
+				if v, found := m.Get(tx, k*7); !found || v.(int64) != k {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDedup(t *testing.T) {
+	// All workers race to PutIfAbsent the same keys; exactly one insert per
+	// key may win (the genome phase-1 invariant).
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := hashmap.New(tm, 64)
+			const workers, keys = 4, 30
+			var inserted [workers]int
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := int64(0); k < keys; k++ {
+						var won bool
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							_, won = m.PutIfAbsent(tx, k, w)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+						if won {
+							inserted[w]++
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			total := 0
+			for _, n := range inserted {
+				total += n
+			}
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := m.Len(tx); got != keys {
+					t.Errorf("len = %d, want %d", got, keys)
+				}
+				return nil
+			})
+			if total != keys {
+				t.Errorf("insert wins = %d, want exactly %d", total, keys)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Package pheap is a transactional min-priority queue implemented as a
+// pairing heap. Pairing heaps suit STM well: Insert and Min touch O(1)
+// transactional variables and DeleteMin rebuilds only the root's child list,
+// so concurrent producers conflict rarely while consumers serialize on the
+// root — the contention profile of a shared scheduler or event queue.
+package pheap
+
+import "repro/internal/stm"
+
+// node is a heap node: an immutable priority/payload pair with transactional
+// child/sibling links (leftmost-child, right-sibling representation).
+type node struct {
+	prio    int64
+	val     stm.Value
+	child   stm.Var // *node
+	sibling stm.Var // *node
+}
+
+// Heap is a transactional min-heap keyed by int64 priority.
+type Heap struct {
+	tm   stm.TM
+	root stm.Var // *node
+	size stm.Var // int
+}
+
+// New returns an empty heap bound to tm.
+func New(tm stm.TM) *Heap {
+	return &Heap{tm: tm, root: tm.NewVar((*node)(nil)), size: tm.NewVar(0)}
+}
+
+func deref(tx stm.Tx, v stm.Var) *node {
+	val := tx.Read(v)
+	if val == nil {
+		return nil
+	}
+	return val.(*node)
+}
+
+// meld links two heaps, attaching the larger root under the smaller.
+func (h *Heap) meld(tx stm.Tx, a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.prio < a.prio {
+		a, b = b, a
+	}
+	// b becomes a's leftmost child.
+	tx.Write(b.sibling, deref(tx, a.child))
+	tx.Write(a.child, b)
+	return a
+}
+
+// Insert adds val with the given priority.
+func (h *Heap) Insert(tx stm.Tx, prio int64, val stm.Value) {
+	n := &node{
+		prio:    prio,
+		val:     val,
+		child:   h.tm.NewVar((*node)(nil)),
+		sibling: h.tm.NewVar((*node)(nil)),
+	}
+	tx.Write(h.root, h.meld(tx, deref(tx, h.root), n))
+	tx.Write(h.size, tx.Read(h.size).(int)+1)
+}
+
+// Min returns the smallest priority and its value without removing it.
+func (h *Heap) Min(tx stm.Tx) (prio int64, val stm.Value, ok bool) {
+	r := deref(tx, h.root)
+	if r == nil {
+		return 0, nil, false
+	}
+	return r.prio, r.val, true
+}
+
+// DeleteMin removes and returns the smallest element.
+func (h *Heap) DeleteMin(tx stm.Tx) (prio int64, val stm.Value, ok bool) {
+	r := deref(tx, h.root)
+	if r == nil {
+		return 0, nil, false
+	}
+	tx.Write(h.root, h.mergePairs(tx, deref(tx, r.child)))
+	tx.Write(h.size, tx.Read(h.size).(int)-1)
+	return r.prio, r.val, true
+}
+
+// mergePairs is the two-pass pairing combine over a sibling list.
+func (h *Heap) mergePairs(tx stm.Tx, first *node) *node {
+	if first == nil {
+		return nil
+	}
+	second := deref(tx, first.sibling)
+	if second == nil {
+		return first
+	}
+	rest := deref(tx, second.sibling)
+	tx.Write(first.sibling, (*node)(nil))
+	tx.Write(second.sibling, (*node)(nil))
+	return h.meld(tx, h.meld(tx, first, second), h.mergePairs(tx, rest))
+}
+
+// Len returns the element count.
+func (h *Heap) Len(tx stm.Tx) int { return tx.Read(h.size).(int) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap) Empty(tx stm.Tx) bool { return h.Len(tx) == 0 }

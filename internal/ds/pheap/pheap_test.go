@@ -1,0 +1,145 @@
+package pheap_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/pheap"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestHeapOrderSequential(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			h := pheap.New(tm)
+			r := xrand.New(13)
+			var want []int64
+			_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+				want = want[:0]
+				for i := 0; i < 200; i++ {
+					p := int64(r.Intn(1000))
+					h.Insert(tx, p, p*10)
+					want = append(want, p)
+				}
+				return nil
+			})
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+				if got := h.Len(tx); got != len(want) {
+					t.Errorf("len = %d, want %d", got, len(want))
+				}
+				for i, w := range want {
+					p, v, ok := h.DeleteMin(tx)
+					if !ok || p != w {
+						t.Errorf("delete %d: got %d,%v want %d", i, p, ok, w)
+						break
+					}
+					if v.(int64) != p*10 {
+						t.Errorf("payload mismatch at %d", i)
+					}
+				}
+				if !h.Empty(tx) {
+					t.Errorf("heap not empty after draining")
+				}
+				if _, _, ok := h.DeleteMin(tx); ok {
+					t.Errorf("DeleteMin on empty succeeded")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestMinPeek(t *testing.T) {
+	tm := engines.MustNew("twm")
+	h := pheap.New(tm)
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		if _, _, ok := h.Min(tx); ok {
+			t.Errorf("Min on empty succeeded")
+		}
+		h.Insert(tx, 5, "five")
+		h.Insert(tx, 2, "two")
+		h.Insert(tx, 9, "nine")
+		if p, v, ok := h.Min(tx); !ok || p != 2 || v != "two" {
+			t.Errorf("Min = %d,%v,%v", p, v, ok)
+		}
+		if got := h.Len(tx); got != 3 {
+			t.Errorf("peek must not remove: len %d", got)
+		}
+		return nil
+	})
+}
+
+func TestDrainSortedProperty(t *testing.T) {
+	f := func(prios []int16) bool {
+		tm := engines.MustNew("tl2")
+		h := pheap.New(tm)
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, p := range prios {
+				h.Insert(tx, int64(p), nil)
+			}
+			last := int64(-1 << 30)
+			for range prios {
+				p, _, got := h.DeleteMin(tx)
+				if !got || p < last {
+					ok = false
+					return nil
+				}
+				last = p
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	for _, name := range []string{"twm", "tl2", "norec"} {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			h := pheap.New(tm)
+			const producers, perP = 3, 50
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(base int64) {
+					defer wg.Done()
+					for i := int64(0); i < perP; i++ {
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							h.Insert(tx, base+i, base+i)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(int64(p) * 1000)
+			}
+			wg.Wait()
+			seen := map[int64]bool{}
+			for i := 0; i < producers*perP; i++ {
+				var p int64
+				var ok bool
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					p, _, ok = h.DeleteMin(tx)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if !ok || seen[p] {
+					t.Fatalf("drain %d: ok=%v dup=%v p=%d", i, ok, seen[p], p)
+				}
+				seen[p] = true
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Package queue is a transactional FIFO queue (sentinel-based linked list),
+// used by the intruder benchmark to hand packets between pipeline stages.
+package queue
+
+import "repro/internal/stm"
+
+// node is a queue cell; the payload is immutable, the next pointer
+// transactional.
+type node struct {
+	val  stm.Value
+	next stm.Var // *node
+}
+
+// Queue is a transactional FIFO of arbitrary values.
+type Queue struct {
+	tm   stm.TM
+	head stm.Var // *node: sentinel whose successor is the front
+	tail stm.Var // *node: last node (== sentinel when empty)
+}
+
+// New returns an empty queue bound to tm.
+func New(tm stm.TM) *Queue {
+	sentinel := &node{next: tm.NewVar((*node)(nil))}
+	return &Queue{
+		tm:   tm,
+		head: tm.NewVar(sentinel),
+		tail: tm.NewVar(sentinel),
+	}
+}
+
+func deref(tx stm.Tx, v stm.Var) *node {
+	val := tx.Read(v)
+	if val == nil {
+		return nil
+	}
+	return val.(*node)
+}
+
+// Enqueue appends val.
+func (q *Queue) Enqueue(tx stm.Tx, val stm.Value) {
+	n := &node{val: val, next: q.tm.NewVar((*node)(nil))}
+	t := deref(tx, q.tail)
+	tx.Write(t.next, n)
+	tx.Write(q.tail, n)
+}
+
+// Dequeue removes and returns the front value; ok is false when empty.
+func (q *Queue) Dequeue(tx stm.Tx) (val stm.Value, ok bool) {
+	sentinel := deref(tx, q.head)
+	first := deref(tx, sentinel.next)
+	if first == nil {
+		return nil, false
+	}
+	// The dequeued node becomes the new sentinel (its payload is dropped so
+	// the value is not retained).
+	tx.Write(q.head, first)
+	return first.val, true
+}
+
+// Peek returns the front value without removing it.
+func (q *Queue) Peek(tx stm.Tx) (val stm.Value, ok bool) {
+	sentinel := deref(tx, q.head)
+	first := deref(tx, sentinel.next)
+	if first == nil {
+		return nil, false
+	}
+	return first.val, true
+}
+
+// Empty reports whether the queue has no elements.
+func (q *Queue) Empty(tx stm.Tx) bool {
+	_, ok := q.Peek(tx)
+	return !ok
+}
+
+// Len counts the elements (reads the whole queue).
+func (q *Queue) Len(tx stm.Tx) int {
+	n := 0
+	for curr := deref(tx, deref(tx, q.head).next); curr != nil; curr = deref(tx, curr.next) {
+		n++
+	}
+	return n
+}

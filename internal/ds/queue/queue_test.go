@@ -1,0 +1,152 @@
+package queue_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/queue"
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			q := queue.New(tm)
+			_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+				if !q.Empty(tx) {
+					t.Errorf("new queue not empty")
+				}
+				for i := 0; i < 10; i++ {
+					q.Enqueue(tx, i)
+				}
+				if got := q.Len(tx); got != 10 {
+					t.Errorf("len = %d", got)
+				}
+				if v, ok := q.Peek(tx); !ok || v.(int) != 0 {
+					t.Errorf("peek = %v,%v", v, ok)
+				}
+				for i := 0; i < 10; i++ {
+					v, ok := q.Dequeue(tx)
+					if !ok || v.(int) != i {
+						t.Errorf("dequeue %d = %v,%v", i, v, ok)
+					}
+				}
+				if _, ok := q.Dequeue(tx); ok {
+					t.Errorf("dequeue from empty succeeded")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestInterleavedProperty(t *testing.T) {
+	// Any interleaving of enqueues and dequeues preserves FIFO order of the
+	// surviving elements.
+	f := func(ops []uint8) bool {
+		tm := engines.MustNew("twm")
+		q := queue.New(tm)
+		var model []int
+		next := 0
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, op := range ops {
+				if op%3 != 0 {
+					q.Enqueue(tx, next)
+					model = append(model, next)
+					next++
+				} else {
+					v, got := q.Dequeue(tx)
+					if len(model) == 0 {
+						if got {
+							ok = false
+						}
+					} else {
+						if !got || v.(int) != model[0] {
+							ok = false
+						}
+						model = model[1:]
+					}
+				}
+			}
+			if q.Len(tx) != len(model) {
+				ok = false
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			q := queue.New(tm)
+			const producers, perP = 3, 60
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perP; i++ {
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							q.Enqueue(tx, p*perP+i)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(p)
+			}
+			seen := make(chan int, producers*perP)
+			var cg sync.WaitGroup
+			for c := 0; c < 2; c++ {
+				cg.Add(1)
+				go func() {
+					defer cg.Done()
+					for {
+						var v stm.Value
+						var ok bool
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							v, ok = q.Dequeue(tx)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+						if !ok {
+							// Producers may still be running; stop only when
+							// all items have been drained.
+							if len(seen) == producers*perP {
+								return
+							}
+							continue
+						}
+						seen <- v.(int)
+					}
+				}()
+			}
+			wg.Wait()
+			cg.Wait()
+			close(seen)
+			got := map[int]bool{}
+			for v := range seen {
+				if got[v] {
+					t.Errorf("duplicate element %d", v)
+				}
+				got[v] = true
+			}
+			if len(got) != producers*perP {
+				t.Errorf("drained %d, want %d", len(got), producers*perP)
+			}
+		})
+	}
+}

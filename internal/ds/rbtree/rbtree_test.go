@@ -1,0 +1,219 @@
+package rbtree_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/rbtree"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// checkedOp runs one mutation and verifies the red-black invariants inside
+// the same transaction.
+func checkedOp(t *testing.T, tm stm.TM, m *rbtree.Map, op func(tx stm.Tx)) {
+	t.Helper()
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		op(tx)
+		if _, err := m.CheckInvariants(tx); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelSequentialWithInvariants(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := rbtree.New(tm)
+			model := map[int64]int{}
+			r := xrand.New(31)
+			for i := 0; i < 600; i++ {
+				k := int64(r.Intn(120))
+				switch r.Intn(4) {
+				case 0, 1:
+					checkedOp(t, tm, m, func(tx stm.Tx) {
+						_, had := model[k]
+						if got := m.Put(tx, k, i); got != !had {
+							t.Errorf("Put(%d) inserted=%v, want %v", k, got, !had)
+						}
+					})
+					model[k] = i
+				case 2:
+					checkedOp(t, tm, m, func(tx stm.Tx) {
+						_, had := model[k]
+						if got := m.Delete(tx, k); got != had {
+							t.Errorf("Delete(%d) = %v, want %v", k, got, had)
+						}
+					})
+					delete(model, k)
+				default:
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						v, ok := m.Get(tx, k)
+						want, had := model[k]
+						if ok != had || (ok && v.(int) != want) {
+							t.Errorf("Get(%d) = %v,%v want %v,%v", k, v, ok, want, had)
+						}
+						return nil
+					})
+				}
+			}
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := m.Len(tx); got != len(model) {
+					t.Errorf("Len = %d, model %d", got, len(model))
+				}
+				prev := int64(-1)
+				m.ForEach(tx, func(k int64, v stm.Value) bool {
+					if k <= prev {
+						t.Errorf("out of order: %d after %d", k, prev)
+					}
+					prev = k
+					return true
+				})
+				return nil
+			})
+		})
+	}
+}
+
+func TestInsertDeleteBatchProperty(t *testing.T) {
+	f := func(keys []int16, delMask []bool) bool {
+		tm := engines.MustNew("twm")
+		m := rbtree.New(tm)
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			present := map[int64]bool{}
+			for _, k := range keys {
+				m.Put(tx, int64(k), k)
+				present[int64(k)] = true
+			}
+			for i, k := range keys {
+				if i < len(delMask) && delMask[i] {
+					m.Delete(tx, int64(k))
+					delete(present, int64(k))
+				}
+			}
+			if _, err := m.CheckInvariants(tx); err != nil {
+				ok = false
+				return nil
+			}
+			if m.Len(tx) != len(present) {
+				ok = false
+			}
+			for k := range present {
+				if !m.Contains(tx, k) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingDescendingInserts(t *testing.T) {
+	// Worst-case insertion orders must stay balanced: black height of a
+	// 2^k-node red-black tree is at most 2*log2(n+1).
+	tm := engines.MustNew("tl2")
+	m := rbtree.New(tm)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		for k := int64(0); k < 256; k++ {
+			m.Put(tx, k, k)
+		}
+		for k := int64(512); k > 256; k-- {
+			m.Put(tx, k, k)
+		}
+		bh, err := m.CheckInvariants(tx)
+		if err != nil {
+			return err
+		}
+		if bh > 10 {
+			t.Errorf("black height %d too large for 512 nodes", bh)
+		}
+		if min, ok := m.Min(tx); !ok || min != 0 {
+			t.Errorf("Min = %d,%v", min, ok)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := rbtree.New(tm)
+			const workers = 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := xrand.New(uint64(w + 1))
+					for i := 0; i < 150; i++ {
+						k := int64(r.Intn(200))
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							if r.Bool(0.6) {
+								m.Put(tx, k, w)
+							} else {
+								m.Delete(tx, k)
+							}
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if _, err := m.CheckInvariants(tx); err != nil {
+					t.Errorf("invariants after concurrency: %v", err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestDeleteAllPaths(t *testing.T) {
+	// Exercise every delete case: leaf, one child (left/right), two children
+	// with adjacent and distant successors.
+	tm := engines.MustNew("norec")
+	m := rbtree.New(tm)
+	keys := []int64{50, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43, 56, 68, 81, 93}
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		for _, k := range keys {
+			m.Put(tx, k, k)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	order := []int64{6, 93, 25, 50, 75, 12, 87, 37, 62, 18, 31, 43, 56, 68, 81}
+	remaining := len(keys)
+	for _, k := range order {
+		checkedOp(t, tm, m, func(tx stm.Tx) {
+			if !m.Delete(tx, k) {
+				t.Errorf("Delete(%d) missed", k)
+			}
+		})
+		remaining--
+		_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+			if got := m.Len(tx); got != remaining {
+				t.Errorf("after Delete(%d): len %d, want %d", k, got, remaining)
+			}
+			return nil
+		})
+	}
+}

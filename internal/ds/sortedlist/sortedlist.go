@@ -1,0 +1,99 @@
+// Package sortedlist is a transactional sorted singly-linked integer set —
+// the data structure of the paper's §1.1 motivating example (Fig. 1). A
+// traversal reads every next pointer up to the insertion point, so an update
+// near the tail conflicts (under classic validation) with any concurrent
+// update nearer the head: exactly the spurious-abort pattern time-warp
+// commits eliminate.
+package sortedlist
+
+import (
+	"math"
+
+	"repro/internal/stm"
+)
+
+// node is a list cell. The key is immutable; the next pointer is the
+// transactional variable.
+type node struct {
+	key  int64
+	next stm.Var // holds *node (nil tail is a (*node)(nil) value)
+}
+
+// List is a transactional sorted set of int64 keys.
+type List struct {
+	tm   stm.TM
+	head *node // sentinel with key = -inf
+}
+
+// New returns an empty set bound to tm.
+func New(tm stm.TM) *List {
+	return &List{
+		tm:   tm,
+		head: &node{key: math.MinInt64, next: tm.NewVar((*node)(nil))},
+	}
+}
+
+// nextOf dereferences a node's next pointer inside tx.
+func nextOf(tx stm.Tx, n *node) *node {
+	v := tx.Read(n.next)
+	if v == nil {
+		return nil
+	}
+	return v.(*node)
+}
+
+// search returns the last node with key < k and its successor.
+func (l *List) search(tx stm.Tx, k int64) (prev, curr *node) {
+	prev = l.head
+	curr = nextOf(tx, prev)
+	for curr != nil && curr.key < k {
+		prev = curr
+		curr = nextOf(tx, curr)
+	}
+	return prev, curr
+}
+
+// Contains reports whether k is in the set.
+func (l *List) Contains(tx stm.Tx, k int64) bool {
+	_, curr := l.search(tx, k)
+	return curr != nil && curr.key == k
+}
+
+// Insert adds k and reports whether the set changed.
+func (l *List) Insert(tx stm.Tx, k int64) bool {
+	prev, curr := l.search(tx, k)
+	if curr != nil && curr.key == k {
+		return false
+	}
+	n := &node{key: k, next: l.tm.NewVar(stm.Value(curr))}
+	tx.Write(prev.next, n)
+	return true
+}
+
+// Remove deletes k and reports whether the set changed.
+func (l *List) Remove(tx stm.Tx, k int64) bool {
+	prev, curr := l.search(tx, k)
+	if curr == nil || curr.key != k {
+		return false
+	}
+	tx.Write(prev.next, nextOf(tx, curr))
+	return true
+}
+
+// Len counts the elements (reads the whole list).
+func (l *List) Len(tx stm.Tx) int {
+	n := 0
+	for curr := nextOf(tx, l.head); curr != nil; curr = nextOf(tx, curr) {
+		n++
+	}
+	return n
+}
+
+// Keys returns the elements in order (reads the whole list).
+func (l *List) Keys(tx stm.Tx) []int64 {
+	var out []int64
+	for curr := nextOf(tx, l.head); curr != nil; curr = nextOf(tx, curr) {
+		out = append(out, curr.key)
+	}
+	return out
+}

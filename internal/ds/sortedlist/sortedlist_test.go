@@ -1,0 +1,170 @@
+package sortedlist_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/sortedlist"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestModelSequential(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			l := sortedlist.New(tm)
+			model := map[int64]bool{}
+			r := xrand.New(5)
+			for i := 0; i < 500; i++ {
+				k := int64(r.Intn(60))
+				op := r.Intn(3)
+				err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					switch op {
+					case 0:
+						if got, want := l.Insert(tx, k), !model[k]; got != want {
+							t.Errorf("Insert(%d) = %v, want %v", k, got, want)
+						}
+					case 1:
+						if got, want := l.Remove(tx, k), model[k]; got != want {
+							t.Errorf("Remove(%d) = %v, want %v", k, got, want)
+						}
+					case 2:
+						if got, want := l.Contains(tx, k), model[k]; got != want {
+							t.Errorf("Contains(%d) = %v, want %v", k, got, want)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch op {
+				case 0:
+					model[k] = true
+				case 1:
+					delete(model, k)
+				}
+			}
+			// Final structural check: sorted, deduplicated, matches model.
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				keys := l.Keys(tx)
+				if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+					t.Errorf("keys not sorted: %v", keys)
+				}
+				if len(keys) != len(model) {
+					t.Errorf("len = %d, model = %d", len(keys), len(model))
+				}
+				for _, k := range keys {
+					if !model[k] {
+						t.Errorf("stray key %d", k)
+					}
+				}
+				if got := l.Len(tx); got != len(model) {
+					t.Errorf("Len = %d, want %d", got, len(model))
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestInsertRemoveProperty(t *testing.T) {
+	// Inserting a batch and removing it again always leaves the set empty.
+	g := func(keys []int16) bool {
+		tm := engines.MustNew("twm")
+		l := sortedlist.New(tm)
+		var empty bool
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, k := range keys {
+				l.Insert(tx, int64(k))
+			}
+			for _, k := range keys {
+				l.Remove(tx, int64(k))
+			}
+			empty = l.Len(tx) == 0
+			return nil
+		})
+		return empty
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSetSemantics(t *testing.T) {
+	// Each worker owns a disjoint key range; every insert must survive.
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			l := sortedlist.New(tm)
+			const workers, perW = 4, 40
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base int64) {
+					defer wg.Done()
+					for i := int64(0); i < perW; i++ {
+						k := base + i
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							l.Insert(tx, k)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(int64(w) * 1000)
+			}
+			wg.Wait()
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := l.Len(tx); got != workers*perW {
+					t.Errorf("len = %d, want %d", got, workers*perW)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestFig1ScenarioOnRealList(t *testing.T) {
+	// The paper's Fig. 1 on the real structure: T3 removes near the tail
+	// while T2 inserts near the head. TWM commits both; TL2 aborts T3.
+	run := func(name string) (bothCommitted bool) {
+		tm := engines.MustNew(name)
+		l := sortedlist.New(tm)
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, k := range []int64{10, 40, 50} { // A, D, E
+				l.Insert(tx, k)
+			}
+			return nil
+		})
+		t3 := tm.Begin(false)
+		if !l.Remove(t3, 50) {
+			return false
+		}
+		t2 := tm.Begin(false)
+		if !l.Insert(t2, 20) {
+			return false
+		}
+		if !tm.Commit(t2) {
+			return false
+		}
+		return tm.Commit(t3)
+	}
+	if !run("twm") {
+		t.Errorf("TWM should time-warp commit the Fig. 1 history")
+	}
+	if run("tl2") {
+		t.Errorf("TL2 should abort the Fig. 1 history (classic validation)")
+	}
+	if run("jvstm") {
+		t.Errorf("JVSTM should abort the Fig. 1 history (classic validation)")
+	}
+	if !run("avstm") {
+		t.Errorf("AVSTM should accept the Fig. 1 history (interval commit)")
+	}
+}

@@ -1,0 +1,222 @@
+// Package treap is a transactional ordered map from int64 keys to arbitrary
+// values, implemented as a treap (randomized balanced BST with deterministic,
+// key-derived priorities). It stands in for the red-black trees the STAMP
+// vacation benchmark builds its reservation tables from: lookups and updates
+// touch an O(log n) root-to-key path of transactional pointers, producing the
+// same conflict structure (updates near the root invalidate concurrent
+// readers of the whole subtree) at a fraction of the rebalancing complexity.
+package treap
+
+import "repro/internal/stm"
+
+// node is a treap node. Key and priority are immutable; value and children
+// are transactional.
+type node struct {
+	key   int64
+	prio  uint64
+	value stm.Var // payload
+	left  stm.Var // *node
+	right stm.Var // *node
+}
+
+// Map is a transactional ordered map.
+type Map struct {
+	tm   stm.TM
+	root stm.Var // *node
+}
+
+// New returns an empty map bound to tm.
+func New(tm stm.TM) *Map {
+	return &Map{tm: tm, root: tm.NewVar((*node)(nil))}
+}
+
+// prioOf derives the (immutable) heap priority from the key.
+func prioOf(k int64) uint64 {
+	z := uint64(k) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func deref(tx stm.Tx, v stm.Var) *node {
+	val := tx.Read(v)
+	if val == nil {
+		return nil
+	}
+	return val.(*node)
+}
+
+// Get returns the value stored at k.
+func (m *Map) Get(tx stm.Tx, k int64) (stm.Value, bool) {
+	n := deref(tx, m.root)
+	for n != nil {
+		switch {
+		case k < n.key:
+			n = deref(tx, n.left)
+		case k > n.key:
+			n = deref(tx, n.right)
+		default:
+			return tx.Read(n.value), true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports whether k is present.
+func (m *Map) Contains(tx stm.Tx, k int64) bool {
+	_, ok := m.Get(tx, k)
+	return ok
+}
+
+// Put inserts or updates k and reports whether a new key was inserted.
+func (m *Map) Put(tx stm.Tx, k int64, val stm.Value) bool {
+	return m.insert(tx, m.root, k, val)
+}
+
+func (m *Map) insert(tx stm.Tx, slot stm.Var, k int64, val stm.Value) bool {
+	n := deref(tx, slot)
+	if n == nil {
+		fresh := &node{
+			key:   k,
+			prio:  prioOf(k),
+			value: m.tm.NewVar(val),
+			left:  m.tm.NewVar((*node)(nil)),
+			right: m.tm.NewVar((*node)(nil)),
+		}
+		tx.Write(slot, fresh)
+		return true
+	}
+	switch {
+	case k == n.key:
+		tx.Write(n.value, val)
+		return false
+	case k < n.key:
+		inserted := m.insert(tx, n.left, k, val)
+		if child := deref(tx, n.left); child != nil && child.prio > n.prio {
+			m.rotateRight(tx, slot, n, child)
+		}
+		return inserted
+	default:
+		inserted := m.insert(tx, n.right, k, val)
+		if child := deref(tx, n.right); child != nil && child.prio > n.prio {
+			m.rotateLeft(tx, slot, n, child)
+		}
+		return inserted
+	}
+}
+
+// rotateRight lifts l (n's left child) above n.
+func (m *Map) rotateRight(tx stm.Tx, slot stm.Var, n, l *node) {
+	tx.Write(n.left, tx.Read(l.right))
+	tx.Write(l.right, n)
+	tx.Write(slot, l)
+}
+
+// rotateLeft lifts r (n's right child) above n.
+func (m *Map) rotateLeft(tx stm.Tx, slot stm.Var, n, r *node) {
+	tx.Write(n.right, tx.Read(r.left))
+	tx.Write(r.left, n)
+	tx.Write(slot, r)
+}
+
+// Delete removes k and reports whether it was present.
+func (m *Map) Delete(tx stm.Tx, k int64) bool {
+	return m.remove(tx, m.root, k)
+}
+
+func (m *Map) remove(tx stm.Tx, slot stm.Var, k int64) bool {
+	n := deref(tx, slot)
+	if n == nil {
+		return false
+	}
+	switch {
+	case k < n.key:
+		return m.remove(tx, n.left, k)
+	case k > n.key:
+		return m.remove(tx, n.right, k)
+	}
+	// Found: rotate n down toward a leaf, then unlink it.
+	l := deref(tx, n.left)
+	r := deref(tx, n.right)
+	switch {
+	case l == nil:
+		tx.Write(slot, r)
+		return true
+	case r == nil:
+		tx.Write(slot, l)
+		return true
+	case l.prio > r.prio:
+		m.rotateRight(tx, slot, n, l)
+		return m.remove(tx, l.right, k)
+	default:
+		m.rotateLeft(tx, slot, n, r)
+		return m.remove(tx, r.left, k)
+	}
+}
+
+// Min returns the smallest key (used by table scans in vacation).
+func (m *Map) Min(tx stm.Tx) (int64, bool) {
+	n := deref(tx, m.root)
+	if n == nil {
+		return 0, false
+	}
+	for {
+		l := deref(tx, n.left)
+		if l == nil {
+			return n.key, true
+		}
+		n = l
+	}
+}
+
+// Len counts the entries (reads the whole tree).
+func (m *Map) Len(tx stm.Tx) int {
+	return m.count(tx, deref(tx, m.root))
+}
+
+func (m *Map) count(tx stm.Tx, n *node) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + m.count(tx, deref(tx, n.left)) + m.count(tx, deref(tx, n.right))
+}
+
+// ForEach visits entries in ascending key order; fn returning false stops the
+// walk.
+func (m *Map) ForEach(tx stm.Tx, fn func(k int64, v stm.Value) bool) {
+	m.walk(tx, deref(tx, m.root), fn)
+}
+
+func (m *Map) walk(tx stm.Tx, n *node, fn func(int64, stm.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !m.walk(tx, deref(tx, n.left), fn) {
+		return false
+	}
+	if !fn(n.key, tx.Read(n.value)) {
+		return false
+	}
+	return m.walk(tx, deref(tx, n.right), fn)
+}
+
+// RangeFrom visits entries with key >= k in ascending order until fn returns
+// false (vacation's "find cheapest among the query range" scans).
+func (m *Map) RangeFrom(tx stm.Tx, k int64, fn func(k int64, v stm.Value) bool) {
+	m.rangeFrom(tx, deref(tx, m.root), k, fn)
+}
+
+func (m *Map) rangeFrom(tx stm.Tx, n *node, k int64, fn func(int64, stm.Value) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.key >= k {
+		if !m.rangeFrom(tx, deref(tx, n.left), k, fn) {
+			return false
+		}
+		if !fn(n.key, tx.Read(n.value)) {
+			return false
+		}
+	}
+	return m.rangeFrom(tx, deref(tx, n.right), k, fn)
+}

@@ -1,0 +1,185 @@
+package treap_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/treap"
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestModelSequential(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := treap.New(tm)
+			model := map[int64]int{}
+			r := xrand.New(23)
+			for i := 0; i < 700; i++ {
+				k := int64(r.Intn(100))
+				switch r.Intn(4) {
+				case 0, 1:
+					err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						_, had := model[k]
+						if got := m.Put(tx, k, i); got != !had {
+							t.Errorf("Put(%d) inserted=%v, want %v", k, got, !had)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					model[k] = i
+				case 2:
+					err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						_, had := model[k]
+						if got := m.Delete(tx, k); got != had {
+							t.Errorf("Delete(%d) = %v, want %v", k, got, had)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					delete(model, k)
+				default:
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						v, ok := m.Get(tx, k)
+						want, had := model[k]
+						if ok != had || (ok && v.(int) != want) {
+							t.Errorf("Get(%d) = %v,%v want %v,%v", k, v, ok, want, had)
+						}
+						return nil
+					})
+				}
+			}
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := m.Len(tx); got != len(model) {
+					t.Errorf("Len = %d, model %d", got, len(model))
+				}
+				prev := int64(-1)
+				m.ForEach(tx, func(k int64, v stm.Value) bool {
+					if k <= prev {
+						t.Errorf("ForEach out of order: %d after %d", k, prev)
+					}
+					prev = k
+					if want := model[k]; v.(int) != want {
+						t.Errorf("value mismatch at %d: %v vs %d", k, v, want)
+					}
+					return true
+				})
+				return nil
+			})
+		})
+	}
+}
+
+func TestRangeFrom(t *testing.T) {
+	tm := engines.MustNew("twm")
+	m := treap.New(tm)
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		for _, k := range []int64{5, 1, 9, 3, 7, 11} {
+			m.Put(tx, k, k*10)
+		}
+		return nil
+	})
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		var got []int64
+		m.RangeFrom(tx, 5, func(k int64, v stm.Value) bool {
+			got = append(got, k)
+			return len(got) < 3
+		})
+		want := []int64{5, 7, 9}
+		if len(got) != len(want) {
+			t.Fatalf("RangeFrom = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeFrom = %v, want %v", got, want)
+			}
+		}
+		if min, ok := m.Min(tx); !ok || min != 1 {
+			t.Fatalf("Min = %d,%v", min, ok)
+		}
+		return nil
+	})
+}
+
+func TestTreapHeapInvariantViaBalance(t *testing.T) {
+	// With key-derived priorities, building 2^k sequential keys must not
+	// degenerate: Len is exact and lookups succeed, which requires the
+	// rotations to have preserved the BST ordering.
+	f := func(seed uint16) bool {
+		tm := engines.MustNew("tl2")
+		m := treap.New(tm)
+		r := xrand.New(uint64(seed))
+		keys := map[int64]bool{}
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for i := 0; i < 64; i++ {
+				k := int64(r.Intn(512))
+				m.Put(tx, k, k)
+				keys[k] = true
+			}
+			for k := range keys {
+				if v, found := m.Get(tx, k); !found || v.(int64) != k {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok && func() bool {
+			n := 0
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				n = m.Len(tx)
+				return nil
+			})
+			return n == len(keys)
+		}()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointPuts(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			m := treap.New(tm)
+			const workers, perW = 4, 50
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						k := int64(w*perW + i)
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							m.Put(tx, k, int(k))
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := m.Len(tx); got != workers*perW {
+					t.Errorf("len = %d, want %d", got, workers*perW)
+				}
+				for k := int64(0); k < workers*perW; k++ {
+					if v, ok := m.Get(tx, k); !ok || v.(int) != int(k) {
+						t.Errorf("Get(%d) = %v,%v", k, v, ok)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}

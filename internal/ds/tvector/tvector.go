@@ -1,0 +1,74 @@
+// Package tvector is a transactional fixed-capacity vector: a cell array of
+// transactional variables plus a transactional length. SSCA2 builds its
+// adjacency lists from these (concurrent appends conflict only on the length
+// and the written cell), and labyrinth records paths in them.
+package tvector
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// Vector is a transactional vector of arbitrary values.
+type Vector struct {
+	cells  []stm.Var
+	length stm.Var // int
+}
+
+// New returns an empty vector with the given fixed capacity.
+func New(tm stm.TM, capacity int) *Vector {
+	v := &Vector{cells: make([]stm.Var, capacity), length: tm.NewVar(0)}
+	for i := range v.cells {
+		v.cells[i] = tm.NewVar(stm.Value(nil))
+	}
+	return v
+}
+
+// Cap returns the fixed capacity.
+func (v *Vector) Cap() int { return len(v.cells) }
+
+// Len returns the current length.
+func (v *Vector) Len(tx stm.Tx) int { return tx.Read(v.length).(int) }
+
+// Push appends val, reporting false when the vector is full.
+func (v *Vector) Push(tx stm.Tx, val stm.Value) bool {
+	n := v.Len(tx)
+	if n >= len(v.cells) {
+		return false
+	}
+	tx.Write(v.cells[n], val)
+	tx.Write(v.length, n+1)
+	return true
+}
+
+// Pop removes and returns the last element.
+func (v *Vector) Pop(tx stm.Tx) (stm.Value, bool) {
+	n := v.Len(tx)
+	if n == 0 {
+		return nil, false
+	}
+	val := tx.Read(v.cells[n-1])
+	tx.Write(v.length, n-1)
+	return val, true
+}
+
+// Get returns element i; it panics on out-of-range indexes (a programming
+// error, matching slice semantics).
+func (v *Vector) Get(tx stm.Tx, i int) stm.Value {
+	if i < 0 || i >= v.Len(tx) {
+		panic(fmt.Sprintf("tvector: index %d out of range [0,%d)", i, v.Len(tx)))
+	}
+	return tx.Read(v.cells[i])
+}
+
+// Set replaces element i.
+func (v *Vector) Set(tx stm.Tx, i int, val stm.Value) {
+	if i < 0 || i >= v.Len(tx) {
+		panic(fmt.Sprintf("tvector: index %d out of range [0,%d)", i, v.Len(tx)))
+	}
+	tx.Write(v.cells[i], val)
+}
+
+// Clear resets the length to zero (cells are lazily overwritten).
+func (v *Vector) Clear(tx stm.Tx) { tx.Write(v.length, 0) }

@@ -1,0 +1,143 @@
+package tvector_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ds/tvector"
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+func TestPushPopGetSet(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			v := tvector.New(tm, 8)
+			if v.Cap() != 8 {
+				t.Fatalf("cap = %d", v.Cap())
+			}
+			_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+				for i := 0; i < 8; i++ {
+					if !v.Push(tx, i*i) {
+						t.Errorf("push %d failed", i)
+					}
+				}
+				if v.Push(tx, 99) {
+					t.Errorf("push beyond capacity succeeded")
+				}
+				if got := v.Len(tx); got != 8 {
+					t.Errorf("len = %d", got)
+				}
+				if got := v.Get(tx, 3); got.(int) != 9 {
+					t.Errorf("get(3) = %v", got)
+				}
+				v.Set(tx, 3, -1)
+				if got := v.Get(tx, 3); got.(int) != -1 {
+					t.Errorf("set/get = %v", got)
+				}
+				if val, ok := v.Pop(tx); !ok || val.(int) != 49 {
+					t.Errorf("pop = %v,%v", val, ok)
+				}
+				if got := v.Len(tx); got != 7 {
+					t.Errorf("len after pop = %d", got)
+				}
+				v.Clear(tx)
+				if got := v.Len(tx); got != 0 {
+					t.Errorf("len after clear = %d", got)
+				}
+				if _, ok := v.Pop(tx); ok {
+					t.Errorf("pop from empty succeeded")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tm := engines.MustNew("twm")
+	v := tvector.New(tm, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		v.Get(tx, 0) // length is 0
+		return nil
+	})
+}
+
+func TestPushPopSymmetryProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		tm := engines.MustNew("jvstm")
+		v := tvector.New(tm, 64)
+		ok := true
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, x := range vals {
+				v.Push(tx, x)
+			}
+			for i := len(vals) - 1; i >= 0; i-- {
+				got, has := v.Pop(tx)
+				if !has || got.(int8) != vals[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	// Concurrent pushes serialize on the length variable: every slot filled
+	// exactly once (the SSCA2 adjacency-append pattern).
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			v := tvector.New(tm, 128)
+			const workers, perW = 4, 32
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+							if !v.Push(tx, w*1000+i) {
+								t.Errorf("push failed (capacity)")
+							}
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+				if got := v.Len(tx); got != workers*perW {
+					t.Errorf("len = %d, want %d", got, workers*perW)
+				}
+				seen := map[int]bool{}
+				for i := 0; i < v.Len(tx); i++ {
+					x := v.Get(tx, i).(int)
+					if seen[x] {
+						t.Errorf("duplicate element %d", x)
+					}
+					seen[x] = true
+				}
+				return nil
+			})
+		})
+	}
+}

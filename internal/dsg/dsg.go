@@ -1,0 +1,264 @@
+// Package dsg is a mechanical serializability oracle based on Adya's Direct
+// Serialization Graph, the formalism §3.1 and §4 of the TWM paper reason
+// with. A recorded history is serializable iff its DSG — read-, write- and
+// anti-dependency edges over committed transactions — is acyclic.
+//
+// The oracle needs two inputs:
+//
+//   - per-transaction observations (which value each committed transaction
+//     read from and wrote to each variable), collected by the test driver;
+//     written values are unique, so a read value identifies the version and
+//     its writer;
+//   - the per-variable version order, reported by the engine under test via
+//     stm.HistoryRecording in its own serialization order.
+//
+// From those it builds wr edges (version writer -> reader), ww edges
+// (consecutive version writers) and rw edges (reader of version i -> writer
+// of version i+1) and checks acyclicity, reporting a concrete cycle on
+// failure.
+package dsg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stm"
+)
+
+// TxID identifies a committed transaction in a recorded history. ID 0 is the
+// virtual initializing transaction that wrote every variable's initial value.
+type TxID int
+
+// TxRecord is one committed transaction's observations.
+type TxRecord struct {
+	ID       TxID
+	ReadOnly bool
+	// Reads maps variable index -> value observed. Reads of self-written
+	// values (read-after-write) should be omitted or will be skipped.
+	Reads map[int]int64
+	// Writes maps variable index -> value written.
+	Writes map[int]int64
+}
+
+// EdgeKind labels DSG edges.
+type EdgeKind uint8
+
+const (
+	// WR is a read dependency: the target read a version the source wrote.
+	WR EdgeKind = iota
+	// WW is a write dependency: the target overwrote a version the source
+	// wrote (consecutive in the version order).
+	WW
+	// RW is an anti-dependency: the source read a version the target
+	// replaced with a newer one.
+	RW
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case WR:
+		return "wr"
+	case WW:
+		return "ww"
+	case RW:
+		return "rw"
+	}
+	return "?"
+}
+
+// Edge is one labelled DSG edge.
+type Edge struct {
+	From, To TxID
+	Kind     EdgeKind
+	Var      int
+}
+
+// Graph is a DSG over a committed history.
+type Graph struct {
+	edges map[TxID][]Edge
+	nodes map[TxID]bool
+}
+
+// Build constructs the DSG for a history.
+//
+// vars are the engine variables in index order; histories come from tm (which
+// must have had history recording enabled before the run); records are the
+// committed transactions' observations. initial[i] is variable i's initial
+// value (attributed to the virtual transaction 0).
+func Build(tm stm.HistoryRecording, vars []stm.Var, initial []int64, records []TxRecord) (*Graph, error) {
+	g := &Graph{edges: make(map[TxID][]Edge), nodes: make(map[TxID]bool)}
+	g.nodes[0] = true
+	for _, r := range records {
+		if r.ID == 0 {
+			return nil, fmt.Errorf("dsg: transaction id 0 is reserved")
+		}
+		if g.nodes[r.ID] {
+			return nil, fmt.Errorf("dsg: duplicate transaction id %d", r.ID)
+		}
+		g.nodes[r.ID] = true
+	}
+
+	// writerOf maps (var, value) -> writing transaction.
+	type verKey struct {
+		v   int
+		val int64
+	}
+	writerOf := make(map[verKey]TxID)
+	for i, init := range initial {
+		writerOf[verKey{i, init}] = 0
+	}
+	for _, r := range records {
+		for v, val := range r.Writes {
+			k := verKey{v, val}
+			if prev, dup := writerOf[k]; dup {
+				return nil, fmt.Errorf("dsg: value %d of var %d written by both tx %d and tx %d (values must be unique)", val, v, prev, r.ID)
+			}
+			writerOf[k] = r.ID
+		}
+	}
+
+	// Per-variable version chains from the engine's reported serialization
+	// order; elided versions (TWM clash victims) participate in ww edges but
+	// are never read.
+	versionChain := make([][]TxID, len(vars))
+	readable := make(map[verKey]int) // position of readable versions in chain
+	for i, v := range vars {
+		chain := []TxID{0}
+		readable[verKey{i, initial[i]}] = 0
+		for _, rec := range tm.History(v) {
+			val, ok := rec.Value.(int64)
+			if !ok {
+				return nil, fmt.Errorf("dsg: var %d history holds %T, want int64", i, rec.Value)
+			}
+			w, ok := writerOf[verKey{i, val}]
+			if !ok {
+				return nil, fmt.Errorf("dsg: var %d version value %d has no recorded writer", i, val)
+			}
+			chain = append(chain, w)
+			if !rec.Elided {
+				readable[verKey{i, val}] = len(chain) - 1
+			}
+		}
+		versionChain[i] = chain
+		// ww edges along the chain.
+		for p := 1; p < len(chain); p++ {
+			g.addEdge(Edge{From: chain[p-1], To: chain[p], Kind: WW, Var: i})
+		}
+	}
+
+	// wr and rw edges from reads.
+	for _, r := range records {
+		for v, val := range r.Reads {
+			w, ok := writerOf[verKey{v, val}]
+			if !ok {
+				return nil, fmt.Errorf("dsg: tx %d read value %d of var %d with no writer (phantom value)", r.ID, val, v)
+			}
+			if w == r.ID {
+				continue // read-after-write, no edge
+			}
+			g.addEdge(Edge{From: w, To: r.ID, Kind: WR, Var: v})
+			pos, ok := readable[verKey{v, val}]
+			if !ok {
+				return nil, fmt.Errorf("dsg: tx %d read elided/unknown version %d of var %d", r.ID, val, v)
+			}
+			// Anti-dependency toward the next version's writer, if any.
+			if pos+1 < len(versionChain[v]) {
+				next := versionChain[v][pos+1]
+				if next != r.ID {
+					g.addEdge(Edge{From: r.ID, To: next, Kind: RW, Var: v})
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addEdge(e Edge) {
+	if e.From == e.To {
+		return
+	}
+	g.edges[e.From] = append(g.edges[e.From], e)
+}
+
+// Nodes returns the number of transactions in the graph (including the
+// virtual initializer).
+func (g *Graph) Nodes() int { return len(g.nodes) }
+
+// Edges returns the total edge count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, es := range g.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// FindCycle returns a cycle as a sequence of edges, or nil if the graph is
+// acyclic (i.e. the history is serializable).
+func (g *Graph) FindCycle() []Edge {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[TxID]int, len(g.nodes))
+	var stack []Edge
+	var cycle []Edge
+
+	var visit func(n TxID) bool
+	visit = func(n TxID) bool {
+		color[n] = grey
+		for _, e := range g.edges[n] {
+			switch color[e.To] {
+			case white:
+				stack = append(stack, e)
+				if visit(e.To) {
+					return true
+				}
+				stack = stack[:len(stack)-1]
+			case grey:
+				// Found a back edge: extract the cycle from the stack.
+				stack = append(stack, e)
+				start := 0
+				for i, se := range stack {
+					if se.From == e.To {
+						start = i
+						break
+					}
+				}
+				cycle = append(cycle, stack[start:]...)
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+
+	// Deterministic iteration for reproducible failure reports.
+	ids := make([]TxID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if color[id] == white {
+			stack = stack[:0]
+			if visit(id) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// FormatCycle renders a cycle for failure messages.
+func FormatCycle(cycle []Edge) string {
+	if len(cycle) == 0 {
+		return "(acyclic)"
+	}
+	s := ""
+	for _, e := range cycle {
+		s += fmt.Sprintf("T%d -%s(v%d)-> ", e.From, e.Kind, e.Var)
+	}
+	return s + fmt.Sprintf("T%d", cycle[len(cycle)-1].To)
+}

@@ -1,0 +1,133 @@
+package dsg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// fakeHist is a hand-built history provider for oracle unit tests.
+type fakeHist map[stm.Var][]stm.VersionRecord
+
+func (f fakeHist) EnableHistory() {}
+func (f fakeHist) History(v stm.Var) []stm.VersionRecord {
+	return f[v]
+}
+
+func TestAcyclicSerialHistory(t *testing.T) {
+	v0, v1 := new(int), new(int)
+	hist := fakeHist{
+		v0: {{Value: int64(101), Serial: 1}, {Value: int64(201), Serial: 2}},
+		v1: {{Value: int64(202), Serial: 2}},
+	}
+	records := []TxRecord{
+		{ID: 1, Reads: map[int]int64{0: 0}, Writes: map[int]int64{0: 101}},
+		{ID: 2, Reads: map[int]int64{0: 101}, Writes: map[int]int64{0: 201, 1: 202}},
+		{ID: 3, ReadOnly: true, Reads: map[int]int64{0: 201, 1: 202}},
+	}
+	g, err := Build(hist, []stm.Var{v0, v1}, []int64{0, 0}, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle := g.FindCycle(); cycle != nil {
+		t.Fatalf("unexpected cycle: %s", FormatCycle(cycle))
+	}
+	if g.Nodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", g.Nodes())
+	}
+}
+
+func TestDetectsWriteSkewCycle(t *testing.T) {
+	// T1 reads x,y writes x; T2 reads x,y writes y; both committed with both
+	// versions in each chain -> rw cycle T1 -> T2 -> T1.
+	x, y := new(int), new(int)
+	hist := fakeHist{
+		x: {{Value: int64(100), Serial: 1}},
+		y: {{Value: int64(200), Serial: 2}},
+	}
+	records := []TxRecord{
+		{ID: 1, Reads: map[int]int64{0: 0, 1: 0}, Writes: map[int]int64{0: 100}},
+		{ID: 2, Reads: map[int]int64{0: 0, 1: 0}, Writes: map[int]int64{1: 200}},
+	}
+	g, err := Build(hist, []stm.Var{x, y}, []int64{0, 0}, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatalf("write-skew cycle not detected")
+	}
+	s := FormatCycle(cycle)
+	if !strings.Contains(s, "rw") {
+		t.Fatalf("cycle should contain rw edges: %s", s)
+	}
+}
+
+func TestDetectsLostUpdateCycle(t *testing.T) {
+	// Both transactions read the initial value and both wrote: T1's version
+	// ordered first. T2 read init (overwritten by T1) -> rw T2->T1; ww T1->T2
+	// plus T1 read init -> rw T1->T2. Cycle.
+	x := new(int)
+	hist := fakeHist{
+		x: {{Value: int64(100), Serial: 1}, {Value: int64(200), Serial: 2}},
+	}
+	records := []TxRecord{
+		{ID: 1, Reads: map[int]int64{0: 0}, Writes: map[int]int64{0: 100}},
+		{ID: 2, Reads: map[int]int64{0: 0}, Writes: map[int]int64{0: 200}},
+	}
+	g, err := Build(hist, []stm.Var{x}, []int64{0}, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FindCycle() == nil {
+		t.Fatalf("lost-update cycle not detected")
+	}
+}
+
+func TestElidedVersionsAreUnreadable(t *testing.T) {
+	x := new(int)
+	hist := fakeHist{
+		x: {{Value: int64(100), Serial: 1, Elided: true}, {Value: int64(200), Serial: 1, Tie: 0}},
+	}
+	records := []TxRecord{
+		{ID: 1, Writes: map[int]int64{0: 100}},
+		{ID: 2, Writes: map[int]int64{0: 200}},
+		{ID: 3, ReadOnly: true, Reads: map[int]int64{0: 100}},
+	}
+	_, err := Build(hist, []stm.Var{x}, []int64{0}, records)
+	if err == nil || !strings.Contains(err.Error(), "elided") {
+		t.Fatalf("expected elided-read error, got %v", err)
+	}
+}
+
+func TestPhantomValueRejected(t *testing.T) {
+	x := new(int)
+	hist := fakeHist{x: nil}
+	records := []TxRecord{
+		{ID: 1, ReadOnly: true, Reads: map[int]int64{0: 999}},
+	}
+	_, err := Build(hist, []stm.Var{x}, []int64{0}, records)
+	if err == nil || !strings.Contains(err.Error(), "phantom") {
+		t.Fatalf("expected phantom error, got %v", err)
+	}
+}
+
+func TestDuplicateValueRejected(t *testing.T) {
+	x := new(int)
+	hist := fakeHist{x: nil}
+	records := []TxRecord{
+		{ID: 1, Writes: map[int]int64{0: 5}},
+		{ID: 2, Writes: map[int]int64{0: 5}},
+	}
+	_, err := Build(hist, []stm.Var{x}, []int64{0}, records)
+	if err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("expected uniqueness error, got %v", err)
+	}
+}
+
+func TestFormatCycleEmpty(t *testing.T) {
+	if got := FormatCycle(nil); got != "(acyclic)" {
+		t.Fatalf("FormatCycle(nil) = %q", got)
+	}
+}

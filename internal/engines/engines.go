@@ -1,0 +1,66 @@
+// Package engines is the registry of the five STM implementations compared in
+// the paper's evaluation (plus the TWM no-time-warp ablation). Benchmarks,
+// examples and the CLI instantiate engines through this package so every
+// consumer agrees on construction defaults.
+package engines
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/avstm"
+	"repro/internal/core"
+	"repro/internal/jvstm"
+	"repro/internal/norec"
+	"repro/internal/stm"
+	"repro/internal/tl2"
+)
+
+// Factory constructs a fresh engine instance.
+type Factory func() stm.TM
+
+// factories maps engine names to constructors. Order of PaperSet matches the
+// paper's figures (JVSTM, TL2, NOrec, AVSTM, TWM).
+var factories = map[string]Factory{
+	"twm":        func() stm.TM { return core.New(core.Options{}) },
+	"twm-notw":   func() stm.TM { return core.New(core.Options{DisableTimeWarp: true}) },
+	"twm-opaque": func() stm.TM { return core.New(core.Options{Opacity: true}) },
+	"jvstm":      func() stm.TM { return jvstm.New(jvstm.Options{}) },
+	"tl2":        func() stm.TM { return tl2.New(tl2.Options{}) },
+	"norec":      func() stm.TM { return norec.New() },
+	"avstm":      func() stm.TM { return avstm.New() },
+}
+
+// PaperSet is the engine lineup of the paper's figures, in their legend order.
+func PaperSet() []string { return []string{"jvstm", "tl2", "norec", "avstm", "twm"} }
+
+// Baselines is PaperSet without TWM.
+func Baselines() []string { return []string{"jvstm", "tl2", "norec", "avstm"} }
+
+// Names lists all registered engines, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New constructs a fresh instance of the named engine.
+func New(name string) (stm.TM, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("engines: unknown engine %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// MustNew is New for static names in tests and benchmarks.
+func MustNew(name string) stm.TM {
+	tm, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}

@@ -1,0 +1,59 @@
+package engines_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dsg"
+	"repro/internal/engines"
+	"repro/internal/stamp/vacation"
+)
+
+// TestSerializabilityTrueParallelism runs the DSG oracle with oversubscribed
+// OS threads (GOMAXPROCS > cores) and per-barrier yields, the interleaving
+// regime that exposed a commit-ordering race in the lock-based TWM commit
+// (natural timestamps drawn after the read-set scan let two crossing
+// committers miss each other's anti-dependencies). Regression for that fix,
+// applied to every engine.
+func TestSerializabilityTrueParallelism(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 25 && !t.Failed(); round++ {
+				tm := bench.WithYield(engines.MustNew(name), 1)
+				dsg.CheckRandom(t, tm, dsg.RunOptions{
+					Vars: 6, Goroutines: 8, TxPerG: 60, ReadOnlyP: 0.15,
+					Seed: uint64(round*131 + 7),
+				})
+			}
+		})
+	}
+}
+
+// TestVacationTrueParallelism stresses the application-level invariant that
+// first exposed the race (resource Used counts vs customer-held bookings).
+func TestVacationTrueParallelism(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 40; i++ {
+				p := vacation.Small()
+				p.Seed = uint64(i + 1)
+				w := vacation.New("vacation-high", p)
+				tm := bench.WithYield(engines.MustNew(name), 1)
+				if err := w.Setup(tm); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Run(tm, 8); err != nil {
+					t.Fatalf("seed %d run: %v", i+1, err)
+				}
+				if err := w.Validate(tm); err != nil {
+					t.Fatalf("seed %d validate: %v", i+1, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+// Package hytm implements the future-work direction of the paper's §6: a
+// hybrid TM in which transactions first attempt a best-effort "hardware"
+// path and fall back to a software TM — such as TWM — when the hardware
+// gives up. The paper asks how STMs with reduced spurious aborts behave as
+// the fallback path of hardware TMs; this package provides the simulated
+// substrate to study exactly that question (see BenchmarkHybridFallback).
+//
+// The hardware is simulated, not real (the container has no TSX/TME), but
+// the model captures the properties the paper's discussion hinges on:
+//
+//   - best-effort semantics: a hardware attempt can always fail — capacity
+//     limits on read/write set sizes, a tunable random abort probability
+//     (interrupts, cache evictions), and eager conflict sensitivity;
+//   - eager conflicts: a hardware transaction aborts if any software or
+//     hardware update transaction committed anywhere during its window
+//     (modeled with a global commit subscription, the standard
+//     hybrid-TM fallback-lock/counter construction);
+//   - safety from the software engine: every attempt — hardware profile or
+//     fallback — executes on the inner stm.TM, so isolation never depends
+//     on the simulation.
+//
+// After Options.HWAttempts failed hardware attempts a transaction falls
+// back to an unconstrained software transaction on the inner engine.
+package hytm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Options tunes the simulated hardware.
+type Options struct {
+	// MaxReads and MaxWrites bound the hardware read/write capacity
+	// (distinct variables); 0 selects defaults (64/16 — small, like a few
+	// cache sets).
+	MaxReads, MaxWrites int
+	// HWAttempts is the number of hardware tries before falling back
+	// (default 3, a common retry policy).
+	HWAttempts int
+	// AbortProb is the per-attempt probability of a spurious hardware abort
+	// (interrupt/eviction model).
+	AbortProb float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxReads == 0 {
+		o.MaxReads = 64
+	}
+	if o.MaxWrites == 0 {
+		o.MaxWrites = 16
+	}
+	if o.HWAttempts == 0 {
+		o.HWAttempts = 3
+	}
+}
+
+// Stats counts path outcomes.
+type Stats struct {
+	HWCommits     atomic.Uint64
+	HWConflicts   atomic.Uint64 // eager conflict aborts (subscription fired)
+	HWCapacity    atomic.Uint64 // capacity aborts
+	HWSpurious    atomic.Uint64 // random aborts
+	Fallbacks     atomic.Uint64 // transactions that took the software path
+	ROFastCommits atomic.Uint64 // read-only hardware commits
+}
+
+// TM is a hybrid transactional memory over an inner software engine.
+type TM struct {
+	inner stm.TM
+	opts  Options
+	// commits is the global commit subscription: every update commit (hw or
+	// sw) bumps it; a hardware attempt that observes movement aborts.
+	commits atomic.Uint64
+	stats   Stats
+}
+
+// New wraps inner with the hybrid scheduler.
+func New(inner stm.TM, opts Options) *TM {
+	opts.defaults()
+	return &TM{inner: inner, opts: opts}
+}
+
+// Inner returns the fallback engine.
+func (tm *TM) Inner() stm.TM { return tm.inner }
+
+// HybridStats returns the live path counters.
+func (tm *TM) HybridStats() *Stats { return &tm.stats }
+
+// NewVar allocates on the inner engine; hybrid transactions and pure inner
+// transactions interoperate on the same variables.
+func (tm *TM) NewVar(initial stm.Value) stm.Var { return tm.inner.NewVar(initial) }
+
+// hwAbort is the sentinel panic for simulated hardware aborts.
+type hwAbort struct{ cause *atomic.Uint64 }
+
+// hwTx wraps an inner transaction with the hardware constraints.
+type hwTx struct {
+	inner    stm.Tx
+	tm       *TM
+	reads    map[stm.Var]struct{}
+	writes   map[stm.Var]struct{}
+	readOnly bool
+}
+
+func (t *hwTx) ReadOnly() bool { return t.readOnly }
+
+func (t *hwTx) Read(v stm.Var) stm.Value {
+	if _, ok := t.reads[v]; !ok {
+		t.reads[v] = struct{}{}
+		if len(t.reads) > t.tm.opts.MaxReads {
+			panic(hwAbort{cause: &t.tm.stats.HWCapacity})
+		}
+	}
+	return t.inner.Read(v)
+}
+
+func (t *hwTx) Write(v stm.Var, val stm.Value) {
+	if _, ok := t.writes[v]; !ok {
+		t.writes[v] = struct{}{}
+		if len(t.writes) > t.tm.opts.MaxWrites {
+			panic(hwAbort{cause: &t.tm.stats.HWCapacity})
+		}
+	}
+	t.inner.Write(v, val)
+}
+
+// Atomically runs fn as a hybrid transaction: up to HWAttempts hardware
+// tries, then the software fallback. fn follows the stm.Atomically contract.
+func (tm *TM) Atomically(readOnly bool, fn func(stm.Tx) error) error {
+	r := rngPool.Get().(*xrand.Rand)
+	defer rngPool.Put(r)
+	var bo stm.Backoff
+	for attempt := 0; attempt < tm.opts.HWAttempts; attempt++ {
+		err, committed := tm.tryHardware(readOnly, fn, r)
+		if committed {
+			return err
+		}
+		bo.Wait()
+	}
+	tm.stats.Fallbacks.Add(1)
+	err := stm.Atomically(tm.inner, readOnly, fn)
+	if err == nil && !readOnly {
+		tm.commits.Add(1)
+	}
+	return err
+}
+
+// tryHardware runs one simulated hardware attempt. committed reports whether
+// the transaction finished (successfully or with a user error); false means
+// a hardware abort occurred and the caller decides what to try next.
+func (tm *TM) tryHardware(readOnly bool, fn func(stm.Tx) error, r *xrand.Rand) (err error, committed bool) {
+	sub := tm.commits.Load() // subscribe
+	inner := tm.inner.Begin(readOnly)
+	tx := &hwTx{
+		inner:    inner,
+		tm:       tm,
+		reads:    make(map[stm.Var]struct{}, 8),
+		writes:   make(map[stm.Var]struct{}, 4),
+		readOnly: readOnly,
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			tm.inner.Abort(inner)
+			if ha, ok := p.(hwAbort); ok {
+				ha.cause.Add(1)
+				err, committed = nil, false
+				return
+			}
+			// Inner-engine retry signals and foreign panics count as
+			// hardware conflicts: real HTM aborts eagerly on any conflict.
+			tm.stats.HWConflicts.Add(1)
+			err, committed = nil, false
+		}
+	}()
+
+	if tm.opts.AbortProb > 0 && r.Bool(tm.opts.AbortProb) {
+		panic(hwAbort{cause: &tm.stats.HWSpurious})
+	}
+	if userErr := fn(tx); userErr != nil {
+		tm.inner.Abort(inner)
+		return userErr, true
+	}
+	// Eager conflict check: any update commit during the window kills the
+	// hardware attempt (conservative, like a fallback-lock subscription).
+	if !readOnly && tm.commits.Load() != sub {
+		panic(hwAbort{cause: &tm.stats.HWConflicts})
+	}
+	if !tm.inner.Commit(inner) {
+		tm.stats.HWConflicts.Add(1)
+		return nil, false
+	}
+	if readOnly {
+		tm.stats.ROFastCommits.Add(1)
+	} else {
+		tm.commits.Add(1)
+		tm.stats.HWCommits.Add(1)
+	}
+	return nil, true
+}
+
+// rngPool provides per-attempt randomness without a global lock; each pooled
+// generator gets a distinct seed.
+var (
+	rngSeed atomic.Uint64
+	rngPool = sync.Pool{New: func() any {
+		return xrand.New(rngSeed.Add(1) * 0x9E3779B97F4A7C15)
+	}}
+)

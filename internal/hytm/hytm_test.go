@@ -1,0 +1,209 @@
+package hytm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engines"
+	"repro/internal/hytm"
+	"repro/internal/stm"
+)
+
+func newHybrid(opts hytm.Options) *hytm.TM {
+	return hytm.New(core.New(core.Options{}), opts)
+}
+
+func TestHardwarePathCommits(t *testing.T) {
+	tm := newHybrid(hytm.Options{})
+	x := tm.NewVar(0)
+	for i := 0; i < 50; i++ {
+		if err := tm.Atomically(false, func(tx stm.Tx) error {
+			tx.Write(x, tx.Read(x).(int)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := tm.HybridStats()
+	if s.HWCommits.Load() != 50 || s.Fallbacks.Load() != 0 {
+		t.Fatalf("uncontended run should stay on hardware: %d hw, %d fallbacks",
+			s.HWCommits.Load(), s.Fallbacks.Load())
+	}
+	_ = tm.Atomically(true, func(tx stm.Tx) error {
+		if got := tx.Read(x); got != 50 {
+			t.Errorf("x = %v", got)
+		}
+		return nil
+	})
+	if s.ROFastCommits.Load() == 0 {
+		t.Fatalf("read-only hardware commit not counted")
+	}
+}
+
+func TestCapacityFallsBack(t *testing.T) {
+	tm := newHybrid(hytm.Options{MaxReads: 4, MaxWrites: 2})
+	vars := make([]stm.Var, 16)
+	for i := range vars {
+		vars[i] = tm.NewVar(i)
+	}
+	if err := tm.Atomically(false, func(tx stm.Tx) error {
+		sum := 0
+		for _, v := range vars {
+			sum += tx.Read(v).(int)
+		}
+		for _, v := range vars[:8] {
+			tx.Write(v, sum)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := tm.HybridStats()
+	if s.HWCapacity.Load() == 0 {
+		t.Fatalf("capacity aborts not recorded")
+	}
+	if s.Fallbacks.Load() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks.Load())
+	}
+	// The oversized transaction still committed, via software.
+	_ = tm.Atomically(true, func(tx stm.Tx) error {
+		if got := tx.Read(vars[0]); got != 120 {
+			t.Errorf("vars[0] = %v, want 120", got)
+		}
+		return nil
+	})
+}
+
+func TestSpuriousAbortsForceFallback(t *testing.T) {
+	tm := newHybrid(hytm.Options{AbortProb: 1.0, HWAttempts: 2})
+	x := tm.NewVar(0)
+	if err := tm.Atomically(false, func(tx stm.Tx) error {
+		tx.Write(x, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := tm.HybridStats()
+	if s.HWSpurious.Load() != 2 || s.Fallbacks.Load() != 1 || s.HWCommits.Load() != 0 {
+		t.Fatalf("stats: spurious=%d fallbacks=%d hw=%d",
+			s.HWSpurious.Load(), s.Fallbacks.Load(), s.HWCommits.Load())
+	}
+}
+
+func TestConcurrentCounterExact(t *testing.T) {
+	tm := newHybrid(hytm.Options{})
+	x := tm.NewVar(0)
+	const goroutines, perG = 6, 120
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := tm.Atomically(false, func(tx stm.Tx) error {
+					tx.Write(x, tx.Read(x).(int)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_ = tm.Atomically(true, func(tx stm.Tx) error {
+		if got := tx.Read(x); got != goroutines*perG {
+			t.Errorf("counter = %v, want %d", got, goroutines*perG)
+		}
+		return nil
+	})
+	s := tm.HybridStats()
+	if s.HWCommits.Load()+s.Fallbacks.Load() == 0 {
+		t.Fatalf("no work recorded")
+	}
+	t.Logf("hw=%d conflicts=%d fallbacks=%d",
+		s.HWCommits.Load(), s.HWConflicts.Load(), s.Fallbacks.Load())
+}
+
+func TestUserErrorNoFallbackBurn(t *testing.T) {
+	tm := newHybrid(hytm.Options{})
+	x := tm.NewVar(7)
+	boom := errors.New("boom")
+	if err := tm.Atomically(false, func(tx stm.Tx) error {
+		tx.Write(x, 8)
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tm.HybridStats().Fallbacks.Load(); got != 0 {
+		t.Fatalf("user error must not burn fallback attempts: %d", got)
+	}
+	_ = tm.Atomically(true, func(tx stm.Tx) error {
+		if got := tx.Read(x); got != 7 {
+			t.Errorf("aborted write leaked: %v", got)
+		}
+		return nil
+	})
+}
+
+func TestInteroperatesWithDirectInnerTransactions(t *testing.T) {
+	inner := core.New(core.Options{})
+	tm := hytm.New(inner, hytm.Options{})
+	x := tm.NewVar(0)
+	// Mixed use: hybrid transactions and plain software transactions on the
+	// same variable.
+	for i := 0; i < 20; i++ {
+		if err := tm.Atomically(false, func(tx stm.Tx) error {
+			tx.Write(x, tx.Read(x).(int)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := stm.Atomically(inner, false, func(tx stm.Tx) error {
+			tx.Write(x, tx.Read(x).(int)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = stm.Atomically(inner, true, func(tx stm.Tx) error {
+		if got := tx.Read(x); got != 40 {
+			t.Errorf("x = %v, want 40", got)
+		}
+		return nil
+	})
+}
+
+func TestEveryEngineAsFallback(t *testing.T) {
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := hytm.New(engines.MustNew(name), hytm.Options{AbortProb: 0.5, HWAttempts: 2})
+			x := tm.NewVar(0)
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 60; i++ {
+						if err := tm.Atomically(false, func(tx stm.Tx) error {
+							tx.Write(x, tx.Read(x).(int)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			_ = tm.Atomically(true, func(tx stm.Tx) error {
+				if got := tx.Read(x); got != 240 {
+					t.Errorf("counter = %v, want 240", got)
+				}
+				return nil
+			})
+		})
+	}
+}

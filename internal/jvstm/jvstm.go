@@ -1,0 +1,381 @@
+// Package jvstm implements a JVSTM-style multi-version STM (Fernandes and
+// Cachopo, PPoPP 2011) over the common stm API: per-variable version lists
+// ordered by a global commit clock, classic commit-time validation for update
+// transactions, and abort-free read-only transactions (mv-permissiveness for
+// readers). It is the multi-version baseline of the TWM paper's evaluation.
+//
+// The original JVSTM uses a lock-free commit; as with the TWM prototype, that
+// concern is orthogonal to what the paper measures here (version maintenance
+// cost and the classic validation rule), so commit uses per-variable locks
+// acquired in id order, mirroring internal/core for a like-for-like
+// comparison.
+package jvstm
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mvutil"
+	"repro/internal/stm"
+)
+
+// Options tunes a JVSTM instance. The zero value uses defaults.
+type Options struct {
+	// GCEveryNCommits triggers version garbage collection each time this
+	// many update transactions commit; 0 selects the default, negative
+	// disables automatic GC.
+	GCEveryNCommits int
+	// LockSpinBudget bounds spinning on a peer's commit lock.
+	LockSpinBudget int
+}
+
+const (
+	defaultGCEvery   = 4096
+	defaultSpinLimit = 2048
+)
+
+// TM is a JVSTM instance.
+type TM struct {
+	opts  Options
+	clock atomic.Uint64
+	stats stm.Stats
+	prof  atomic.Pointer[stm.Profiler]
+
+	active  *mvutil.ActiveSet
+	gcCount atomic.Uint64
+	gcMu    sync.Mutex
+
+	varsMu  sync.Mutex
+	vars    []*jvar
+	history atomic.Bool
+}
+
+// New returns a JVSTM instance.
+func New(opts Options) *TM {
+	if opts.GCEveryNCommits == 0 {
+		opts.GCEveryNCommits = defaultGCEvery
+	}
+	if opts.LockSpinBudget == 0 {
+		opts.LockSpinBudget = defaultSpinLimit
+	}
+	tm := &TM{opts: opts}
+	tm.clock.Store(1)
+	tm.active = mvutil.NewActiveSet()
+	return tm
+}
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "jvstm" }
+
+// MultiVersion implements stm.MultiVersioned.
+func (tm *TM) MultiVersion() bool { return true }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() *stm.Stats { return &tm.stats }
+
+// SetProfiler implements stm.Profilable.
+func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
+
+// jversion is one committed value (a JVSTM "body").
+type jversion struct {
+	value stm.Value
+	ver   uint64
+	next  atomic.Pointer[jversion]
+}
+
+// jvar is the transactional variable (a VBox).
+type jvar struct {
+	id    uint64
+	owner atomic.Pointer[txn]
+	head  atomic.Pointer[jversion]
+
+	histMu sync.Mutex
+	hist   []stm.VersionRecord
+}
+
+// NewVar implements stm.TM.
+func (tm *TM) NewVar(initial stm.Value) stm.Var {
+	v := &jvar{}
+	v.head.Store(&jversion{value: initial})
+	tm.varsMu.Lock()
+	v.id = uint64(len(tm.vars)) + 1
+	tm.vars = append(tm.vars, v)
+	tm.varsMu.Unlock()
+	return v
+}
+
+// txn is a JVSTM transaction.
+type txn struct {
+	tm       *TM
+	readOnly bool
+	start    uint64
+
+	readSet   []*jvar
+	writeSet  map[*jvar]stm.Value
+	writeVars []*jvar
+	locked    []*jvar
+	slot      *mvutil.Slot
+}
+
+// ReadOnly implements stm.Tx.
+func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(readOnly bool) stm.Tx {
+	tm.stats.RecordStart()
+	tx := &txn{tm: tm, readOnly: readOnly}
+	c0 := tm.clock.Load()
+	tx.slot = tm.active.Register(c0)
+	tx.start = tm.clock.Load()
+	if !readOnly {
+		tx.writeSet = make(map[*jvar]stm.Value, 8)
+	}
+	return tx
+}
+
+// Read implements stm.Tx: multi-version reads never conflict-abort — the
+// transaction walks back to the newest version at or before its snapshot.
+//
+// The read must first wait out a committer holding the variable's lock: a
+// transaction that began after the committer drew its version number (so the
+// new version belongs in this snapshot) could otherwise read the stale head
+// while the committer is still publishing. The committer holds the lock from
+// before its clock increment until after the insertion, so waiting here
+// closes that window; readers hold no locks, so the wait always terminates.
+func (tx *txn) Read(v stm.Var) stm.Value {
+	tv := v.(*jvar)
+	prof := tx.tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	if !tx.readOnly {
+		if val, ok := tx.writeSet[tv]; ok {
+			if prof != nil {
+				prof.AddRead(prof.Now() - t0)
+			}
+			return val
+		}
+		tx.readSet = append(tx.readSet, tv)
+	}
+	for tv.owner.Load() != nil {
+		runtime.Gosched()
+	}
+	ver := tv.head.Load()
+	for ver.ver > tx.start {
+		ver = ver.next.Load()
+	}
+	if prof != nil {
+		prof.AddRead(prof.Now() - t0)
+	}
+	return ver.value
+}
+
+// Write implements stm.Tx.
+func (tx *txn) Write(v stm.Var, val stm.Value) {
+	if tx.readOnly {
+		panic("jvstm: Write on a read-only transaction")
+	}
+	tv := v.(*jvar)
+	if _, ok := tx.writeSet[tv]; !ok {
+		tx.writeVars = append(tx.writeVars, tv)
+	}
+	tx.writeSet[tv] = val
+}
+
+// Abort implements stm.TM.
+func (tm *TM) Abort(txi stm.Tx) {
+	tx := txi.(*txn)
+	tx.releaseLocks()
+	tm.active.Unregister(tx.slot)
+	tx.slot = nil
+}
+
+func (tx *txn) releaseLocks() {
+	for _, v := range tx.locked {
+		v.owner.CompareAndSwap(tx, nil)
+	}
+	tx.locked = tx.locked[:0]
+}
+
+// Commit implements stm.TM: lock write set, classic validation of the read
+// set ("commit in the present"), publish versions at the new clock value.
+func (tm *TM) Commit(txi stm.Tx) bool {
+	tx := txi.(*txn)
+	defer func() {
+		tm.active.Unregister(tx.slot)
+		tx.slot = nil
+	}()
+	if tx.readOnly || len(tx.writeSet) == 0 {
+		tm.stats.RecordCommit(tx.readOnly)
+		return true
+	}
+	prof := tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+		defer prof.AddTx()
+	}
+
+	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
+	for _, v := range tx.writeVars {
+		if !tx.lockVar(v) {
+			tx.releaseLocks()
+			tm.stats.RecordAbort(stm.ReasonWriteConflict)
+			return false
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddCommit(now - t0)
+		t0 = now
+	}
+
+	// Draw the write version before validating (as TL2 does): every
+	// committer with a smaller version number already held all its write
+	// locks when it drew its number, so the lock wait below guarantees the
+	// validation observes its versions. Drawing the number after validation
+	// would let a reader outrun a writer it missed and still serialize after
+	// it.
+	wv := tm.clock.Add(1)
+
+	// Classic validation: abort if any read variable has a version newer
+	// than our snapshot. A concurrent committer that holds a lock on a read
+	// variable is waited out (bounded) so we validate a stable head.
+	for _, v := range tx.readSet {
+		if !tx.waitUnlocked(v) {
+			tx.releaseLocks()
+			tm.stats.RecordAbort(stm.ReasonLockTimeout)
+			return false
+		}
+		if v.head.Load().ver > tx.start {
+			tx.releaseLocks()
+			tm.stats.RecordAbort(stm.ReasonReadConflict)
+			if prof != nil {
+				prof.AddReadSetVal(prof.Now() - t0)
+			}
+			return false
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddReadSetVal(now - t0)
+		t0 = now
+	}
+
+	for _, v := range tx.writeVars {
+		val := tx.writeSet[v]
+		nv := &jversion{value: val, ver: wv}
+		nv.next.Store(v.head.Load())
+		v.head.Store(nv)
+		if tm.history.Load() {
+			v.histMu.Lock()
+			v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: wv})
+			v.histMu.Unlock()
+		}
+		v.owner.CompareAndSwap(tx, nil)
+	}
+	tx.locked = tx.locked[:0]
+	if prof != nil {
+		prof.AddCommit(prof.Now() - t0)
+	}
+	tm.stats.RecordCommit(false)
+	tm.maybeGC()
+	return true
+}
+
+func (tx *txn) lockVar(v *jvar) bool {
+	for spins := 0; ; spins++ {
+		if v.owner.CompareAndSwap(nil, tx) {
+			tx.locked = append(tx.locked, v)
+			return true
+		}
+		if spins >= tx.tm.opts.LockSpinBudget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+func (tx *txn) waitUnlocked(v *jvar) bool {
+	for spins := 0; ; spins++ {
+		o := v.owner.Load()
+		if o == nil || o == tx {
+			return true
+		}
+		if spins >= tx.tm.opts.LockSpinBudget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// gcOwner is the sentinel lock holder used by the garbage collector.
+var gcOwner = new(txn)
+
+func (tm *TM) maybeGC() {
+	every := tm.opts.GCEveryNCommits
+	if every < 0 {
+		return
+	}
+	if tm.gcCount.Add(1)%uint64(every) != 0 {
+		return
+	}
+	tm.GC()
+}
+
+// GC trims version tails below the oldest active snapshot, exactly as in
+// internal/core but with the single (natural) time line. Passes are
+// serialized so each pass's bound is at least its predecessor's (an older
+// bound walking a fresher-truncated list would run off the tail).
+func (tm *TM) GC() int {
+	tm.gcMu.Lock()
+	defer tm.gcMu.Unlock()
+	bound := tm.active.MinStart(tm.clock.Load())
+	tm.varsMu.Lock()
+	vars := tm.vars
+	tm.varsMu.Unlock()
+
+	freed := 0
+	for _, v := range vars {
+		if !v.owner.CompareAndSwap(nil, gcOwner) {
+			continue
+		}
+		ver := v.head.Load()
+		for ver.ver > bound {
+			ver = ver.next.Load()
+		}
+		for tail := ver.next.Load(); tail != nil; tail = tail.next.Load() {
+			freed++
+		}
+		ver.next.Store(nil)
+		v.owner.CompareAndSwap(gcOwner, nil)
+	}
+	return freed
+}
+
+// VersionCount returns the live version count of v (tests).
+func (tm *TM) VersionCount(v stm.Var) int {
+	tv := v.(*jvar)
+	n := 0
+	for ver := tv.head.Load(); ver != nil; ver = ver.next.Load() {
+		n++
+	}
+	return n
+}
+
+// EnableHistory implements stm.HistoryRecording.
+func (tm *TM) EnableHistory() { tm.history.Store(true) }
+
+// History implements stm.HistoryRecording.
+func (tm *TM) History(v stm.Var) []stm.VersionRecord {
+	tv := v.(*jvar)
+	tv.histMu.Lock()
+	defer tv.histMu.Unlock()
+	out := make([]stm.VersionRecord, len(tv.hist))
+	copy(out, tv.hist)
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	return out
+}

@@ -1,0 +1,80 @@
+// Package mvutil provides small utilities shared by the multi-versioned
+// engines (TWM in internal/core and JVSTM in internal/jvstm): an active
+// transaction registry used to bound version garbage collection.
+package mvutil
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ActiveSet tracks the start timestamps of in-flight transactions so a
+// version garbage collector can compute the oldest snapshot any active
+// transaction may still read. It is sharded to keep registration off the
+// global contention path.
+type ActiveSet struct {
+	next   atomic.Uint64
+	shards [activeShards]activeShard
+}
+
+const activeShards = 16
+
+type activeShard struct {
+	mu    sync.Mutex
+	slots map[*Slot]struct{}
+}
+
+// Slot is one registration; slots are single-use.
+type Slot struct {
+	start uint64
+	shard *activeShard
+}
+
+// NewActiveSet returns an initialized registry.
+func NewActiveSet() *ActiveSet {
+	a := &ActiveSet{}
+	for i := range a.shards {
+		a.shards[i].slots = make(map[*Slot]struct{})
+	}
+	return a
+}
+
+// Register records a transaction whose start timestamp will be at least
+// start. It must be called before the transaction samples its snapshot, so
+// the GC bound can never overtake a live snapshot.
+func (a *ActiveSet) Register(start uint64) *Slot {
+	sh := &a.shards[a.next.Add(1)%activeShards]
+	slot := &Slot{start: start, shard: sh}
+	sh.mu.Lock()
+	sh.slots[slot] = struct{}{}
+	sh.mu.Unlock()
+	return slot
+}
+
+// Unregister removes a finished transaction. Safe to call with nil.
+func (a *ActiveSet) Unregister(slot *Slot) {
+	if slot == nil {
+		return
+	}
+	sh := slot.shard
+	sh.mu.Lock()
+	delete(sh.slots, slot)
+	sh.mu.Unlock()
+}
+
+// MinStart returns the smallest registered start timestamp, or fallback when
+// nothing is registered.
+func (a *ActiveSet) MinStart(fallback uint64) uint64 {
+	min := fallback
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for slot := range sh.slots {
+			if slot.start < min {
+				min = slot.start
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return min
+}

@@ -1,0 +1,85 @@
+package mvutil
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinStartEmpty(t *testing.T) {
+	a := NewActiveSet()
+	if got := a.MinStart(42); got != 42 {
+		t.Fatalf("empty min = %d, want fallback 42", got)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	a := NewActiveSet()
+	s1 := a.Register(10)
+	s2 := a.Register(5)
+	s3 := a.Register(20)
+	if got := a.MinStart(100); got != 5 {
+		t.Fatalf("min = %d, want 5", got)
+	}
+	a.Unregister(s2)
+	if got := a.MinStart(100); got != 10 {
+		t.Fatalf("min = %d, want 10", got)
+	}
+	a.Unregister(s1)
+	a.Unregister(s3)
+	if got := a.MinStart(7); got != 7 {
+		t.Fatalf("min = %d, want fallback 7", got)
+	}
+	a.Unregister(nil) // must be safe
+}
+
+func TestMinStartNeverAboveLiveMinimum(t *testing.T) {
+	// Property: with any set of live registrations, MinStart is the exact
+	// minimum of the live starts (or the fallback when none).
+	f := func(starts []uint16, removeMask uint8) bool {
+		a := NewActiveSet()
+		slots := make([]*Slot, len(starts))
+		for i, s := range starts {
+			slots[i] = a.Register(uint64(s))
+		}
+		live := make([]uint64, 0, len(starts))
+		for i, s := range starts {
+			if i < 8 && removeMask&(1<<i) != 0 {
+				a.Unregister(slots[i])
+				continue
+			}
+			live = append(live, uint64(s))
+		}
+		const fallback = uint64(1 << 40)
+		want := fallback
+		for _, s := range live {
+			if s < want {
+				want = s
+			}
+		}
+		return a.MinStart(fallback) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	a := NewActiveSet()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := a.Register(base + uint64(i))
+				_ = a.MinStart(1 << 40)
+				a.Unregister(s)
+			}
+		}(uint64(g) * 1000)
+	}
+	wg.Wait()
+	if got := a.MinStart(99); got != 99 {
+		t.Fatalf("all unregistered, min = %d", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package norec implements the NOrec algorithm of Dalessandro, Spear and
+// Scott (PPoPP 2010) over the common stm API: a single-version STM whose only
+// shared metadata is one global sequence lock, with value-based validation.
+// It is the minimal-metadata baseline of the TWM paper's evaluation (§5):
+// cheapest at low thread counts, collapsing under concurrent committers
+// because writers serialize on the global lock and every clock change forces
+// readers to revalidate their read sets by value.
+//
+// NOrec requires the values stored in transactional variables to be
+// comparable with ==; every workload in this repository satisfies that.
+package norec
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// TM is a NOrec instance.
+type TM struct {
+	// seq is the global sequence lock: odd while a writer is writing back,
+	// even otherwise. seq/2 is the "version" of the whole memory.
+	seq   atomic.Uint64
+	stats stm.Stats
+	prof  atomic.Pointer[stm.Profiler]
+
+	varID   atomic.Uint64
+	history atomic.Bool
+}
+
+// New returns a NOrec instance.
+func New() *TM { return &TM{} }
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "norec" }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() *stm.Stats { return &tm.stats }
+
+// SetProfiler implements stm.Profilable.
+func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
+
+// nvar carries no per-variable metadata beyond the value cell — the defining
+// property of NOrec ("no ownership records").
+type nvar struct {
+	id  uint64
+	val atomic.Pointer[stm.Value]
+
+	hist []stm.VersionRecord // guarded by the global write lock
+}
+
+// NewVar implements stm.TM.
+func (tm *TM) NewVar(initial stm.Value) stm.Var {
+	v := &nvar{id: tm.varID.Add(1)}
+	v.val.Store(&initial)
+	return v
+}
+
+// readEntry records one read for value-based validation.
+type readEntry struct {
+	v   *nvar
+	val stm.Value
+}
+
+// txn is a NOrec transaction.
+type txn struct {
+	tm       *TM
+	readOnly bool
+	snapshot uint64
+
+	readSet   []readEntry
+	writeSet  map[*nvar]stm.Value
+	writeVars []*nvar
+}
+
+// ReadOnly implements stm.Tx.
+func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(readOnly bool) stm.Tx {
+	tm.stats.RecordStart()
+	tx := &txn{tm: tm, readOnly: readOnly, snapshot: tm.waitEven()}
+	if !readOnly {
+		tx.writeSet = make(map[*nvar]stm.Value, 8)
+	}
+	return tx
+}
+
+// waitEven spins until the sequence lock is free and returns its value.
+func (tm *TM) waitEven() uint64 {
+	for {
+		s := tm.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// Read implements stm.Tx. Unlike the paper's ownership-record designs, a read
+// costs one pointer load; consistency is re-established by revalidating the
+// whole read set whenever the global clock moved.
+func (tx *txn) Read(v stm.Var) stm.Value {
+	tv := v.(*nvar)
+	prof := tx.tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	if !tx.readOnly {
+		if val, ok := tx.writeSet[tv]; ok {
+			if prof != nil {
+				prof.AddRead(prof.Now() - t0)
+			}
+			return val
+		}
+	}
+	val := *tv.val.Load()
+	for tx.tm.seq.Load() != tx.snapshot {
+		tx.revalidate(prof)
+		val = *tv.val.Load()
+	}
+	tx.readSet = append(tx.readSet, readEntry{v: tv, val: val})
+	if prof != nil {
+		prof.AddRead(prof.Now() - t0)
+	}
+	return val
+}
+
+// revalidate re-reads every read-set entry and compares values; on success
+// the snapshot advances to the current (even) clock, otherwise the
+// transaction aborts. This is the NOrec value-based validation loop.
+func (tx *txn) revalidate(prof *stm.Profiler) {
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	for {
+		s := tx.tm.waitEven()
+		ok := true
+		for _, e := range tx.readSet {
+			if *e.v.val.Load() != e.val {
+				ok = false
+				break
+			}
+		}
+		if tx.tm.seq.Load() != s {
+			continue // a writer slipped in during validation; retry
+		}
+		if prof != nil {
+			prof.AddReadSetVal(prof.Now() - t0)
+		}
+		if !ok {
+			tx.tm.stats.RecordAbort(stm.ReasonReadConflict)
+			stm.Retry(stm.ReasonReadConflict)
+		}
+		tx.snapshot = s
+		return
+	}
+}
+
+// Write implements stm.Tx.
+func (tx *txn) Write(v stm.Var, val stm.Value) {
+	if tx.readOnly {
+		panic("norec: Write on a read-only transaction")
+	}
+	tv := v.(*nvar)
+	if _, ok := tx.writeSet[tv]; !ok {
+		tx.writeVars = append(tx.writeVars, tv)
+	}
+	tx.writeSet[tv] = val
+}
+
+// Abort implements stm.TM. NOrec transactions hold no resources mid-flight.
+func (tm *TM) Abort(stm.Tx) {}
+
+// Commit implements stm.TM.
+func (tm *TM) Commit(txi stm.Tx) bool {
+	tx := txi.(*txn)
+	if tx.readOnly || len(tx.writeSet) == 0 {
+		// Reads were kept individually consistent with the snapshot, which
+		// is a committed memory state: nothing to validate.
+		tm.stats.RecordCommit(tx.readOnly)
+		return true
+	}
+	prof := tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+		defer prof.AddTx()
+	}
+
+	// Acquire the global sequence lock from our snapshot; every failure
+	// means the clock moved, requiring value-based revalidation first.
+	for !tm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		if ok := tx.commitRevalidate(prof); !ok {
+			tm.stats.RecordAbort(stm.ReasonReadConflict)
+			return false
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddCommit(now - t0)
+		t0 = now
+	}
+	for _, v := range tx.writeVars {
+		val := tx.writeSet[v]
+		v.val.Store(&val)
+		if tm.history.Load() {
+			v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: tx.snapshot + 2})
+		}
+	}
+	tm.seq.Store(tx.snapshot + 2)
+	if prof != nil {
+		prof.AddCommit(prof.Now() - t0)
+	}
+	tm.stats.RecordCommit(false)
+	return true
+}
+
+// commitRevalidate is revalidate without the panic path (Commit reports
+// failure by return value).
+func (tx *txn) commitRevalidate(prof *stm.Profiler) bool {
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	for {
+		s := tx.tm.waitEven()
+		ok := true
+		for _, e := range tx.readSet {
+			if *e.v.val.Load() != e.val {
+				ok = false
+				break
+			}
+		}
+		if tx.tm.seq.Load() != s {
+			continue
+		}
+		if prof != nil {
+			prof.AddReadSetVal(prof.Now() - t0)
+		}
+		if ok {
+			tx.snapshot = s
+		}
+		return ok
+	}
+}
+
+// EnableHistory implements stm.HistoryRecording.
+func (tm *TM) EnableHistory() { tm.history.Store(true) }
+
+// History implements stm.HistoryRecording. Appends happen while holding the
+// global write lock, so the slice is already in serialization order.
+func (tm *TM) History(v stm.Var) []stm.VersionRecord {
+	tv := v.(*nvar)
+	s := tm.waitEven() // quiesce writers
+	_ = s
+	out := make([]stm.VersionRecord, len(tv.hist))
+	copy(out, tv.hist)
+	return out
+}

@@ -1,0 +1,84 @@
+package norec
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestSeqlockEvenWhenIdle(t *testing.T) {
+	tm := New()
+	if s := tm.waitEven(); s%2 != 0 {
+		t.Fatalf("idle seqlock odd: %d", s)
+	}
+	x := tm.NewVar(0)
+	tx := tm.Begin(false)
+	tx.Write(x, 1)
+	if !tm.Commit(tx) {
+		t.Fatalf("commit failed")
+	}
+	if s := tm.waitEven(); s != 2 {
+		t.Fatalf("seq after one commit = %d, want 2", s)
+	}
+}
+
+func TestReadOnlyKeepsReadSetForRevalidation(t *testing.T) {
+	// Unlike TL2/JVSTM/TWM, NOrec needs the read set even for read-only
+	// transactions (the paper's §5 methodology note): a clock bump forces a
+	// value-based revalidation of everything read so far.
+	tm := New()
+	x := tm.NewVar(10)
+	ro := tm.Begin(true).(*txn)
+	if got := ro.Read(x); got != 10 {
+		t.Fatalf("read = %v", got)
+	}
+	if len(ro.readSet) != 1 {
+		t.Fatalf("read-only read set size = %d, want 1", len(ro.readSet))
+	}
+}
+
+func TestSilentClockBumpSurvivesByValue(t *testing.T) {
+	// An ABA-friendly case: a concurrent committer writes the SAME value the
+	// reader saw; value-based validation keeps the reader alive where
+	// timestamp validation would abort it.
+	tm := New()
+	x := tm.NewVar(10)
+	y := tm.NewVar(0)
+
+	t1 := tm.Begin(false)
+	if got := t1.Read(x); got != 10 {
+		t.Fatalf("read = %v", got)
+	}
+
+	w := tm.Begin(false)
+	w.Write(x, 10) // same value
+	w.Write(y, 1)
+	if !tm.Commit(w) {
+		t.Fatalf("w commit failed")
+	}
+
+	// Reading y forces revalidation of x; the value still matches.
+	if got := t1.Read(y); got != 1 {
+		t.Fatalf("y = %v", got)
+	}
+	t1.Write(y, 2)
+	if !tm.Commit(t1) {
+		t.Fatalf("value-based validation should accept the unchanged value")
+	}
+}
+
+func TestCommitSerializesWriters(t *testing.T) {
+	tm := New()
+	x := tm.NewVar(0)
+	for i := 0; i < 10; i++ {
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			tx.Write(x, tx.Read(x).(int)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := tm.seq.Load(); s != 20 {
+		t.Fatalf("seq = %d, want 20 (2 per update commit)", s)
+	}
+}

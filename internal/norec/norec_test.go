@@ -1,0 +1,73 @@
+package norec_test
+
+import (
+	"testing"
+
+	"repro/internal/dsg"
+	"repro/internal/norec"
+	"repro/internal/stm"
+	"repro/internal/stm/stmtest"
+)
+
+func factory() stm.TM { return norec.New() }
+
+func TestConformance(t *testing.T) {
+	stmtest.Run(t, factory, stmtest.Options{})
+}
+
+func TestSerializabilityDSG(t *testing.T) {
+	dsg.CheckRandom(t, factory(), dsg.RunOptions{})
+}
+
+func TestSerializabilityDSGHighContention(t *testing.T) {
+	dsg.CheckRandom(t, factory(), dsg.RunOptions{Vars: 3, Goroutines: 8, TxPerG: 120, Seed: 42})
+}
+
+func TestValueBasedValidationSurvivesSilentClockBump(t *testing.T) {
+	// NOrec's distinguishing feature: a concurrent commit that does not
+	// change any value this transaction read must NOT abort it, because
+	// validation compares values, not timestamps.
+	tm := factory()
+	x := tm.NewVar(10)
+	y := tm.NewVar(20)
+
+	t1 := tm.Begin(false)
+	if got := t1.Read(x); got != 10 {
+		t.Fatalf("read = %v", got)
+	}
+
+	// A concurrent writer bumps the clock on an unrelated variable.
+	t2 := tm.Begin(false)
+	t2.Write(y, 21)
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+
+	// Reading again forces revalidation against the moved clock; values
+	// match, so the transaction survives and commits.
+	if got := t1.Read(x); got != 10 {
+		t.Fatalf("revalidated read = %v", got)
+	}
+	t1.Write(x, 11)
+	if !tm.Commit(t1) {
+		t.Fatalf("value-based validation should admit this commit")
+	}
+}
+
+func TestAbortsOnChangedValue(t *testing.T) {
+	tm := factory()
+	x := tm.NewVar(10)
+
+	t1 := tm.Begin(false)
+	t1.Read(x)
+	t1.Write(x, 99)
+
+	t2 := tm.Begin(false)
+	t2.Write(x, 11)
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+	if tm.Commit(t1) {
+		t.Fatalf("NOrec must abort when a read value changed")
+	}
+}

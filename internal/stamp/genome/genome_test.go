@@ -1,0 +1,119 @@
+package genome
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+func TestSetupBuildsUniqueGramGene(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New(Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	k := b.p.SegLength - 1
+	seen := map[string]bool{}
+	for i := 0; i+k <= len(b.gene); i++ {
+		g := string(b.gene[i : i+k])
+		if seen[g] {
+			t.Fatalf("duplicate %d-gram at %d", k, i)
+		}
+		seen[g] = true
+	}
+	wantSampled := b.p.Segments + b.p.GeneLength - b.p.SegLength + 1
+	if len(b.sampled) != wantSampled {
+		t.Fatalf("sampled %d, want %d", len(b.sampled), wantSampled)
+	}
+}
+
+func TestDedupPhaseExactCount(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New(Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.dedupPhase(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	windows := b.p.GeneLength - b.p.SegLength + 1
+	if len(b.segments) != windows {
+		t.Fatalf("deduplicated to %d segments, want %d windows", len(b.segments), windows)
+	}
+	var n int
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		n = b.dedup.Len(tx)
+		return nil
+	})
+	if n != windows {
+		t.Fatalf("set size %d, want %d", n, windows)
+	}
+}
+
+func TestLinkPhaseFormsSingleChain(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New(Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	windows := b.p.GeneLength - b.p.SegLength + 1
+	if got := b.linked.Load(); got != int64(windows-1) {
+		t.Fatalf("linked %d pairs, want %d", got, windows-1)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	if string(b.result) != string(b.gene) {
+		t.Fatalf("reconstruction mismatch")
+	}
+}
+
+func TestStridedMultiRound(t *testing.T) {
+	// With Step=3, only the SegLength-3 overlap round can link; the two
+	// higher rounds must come up empty, and reconstruction must still
+	// reproduce the gene exactly (each link extends by 3 bases).
+	tm := engines.MustNew("twm")
+	b := New(Params{GeneLength: 300, SegLength: 9, Segments: 200, Step: 3, Seed: 21})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Rounds(); got != 1 {
+		t.Fatalf("linking rounds with matches = %d, want 1", got)
+	}
+	windows := (b.p.GeneLength-b.p.SegLength)/b.p.Step + 1
+	if got := b.linked.Load(); got != int64(windows-1) {
+		t.Fatalf("linked %d, want %d", got, windows-1)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New(Params{GeneLength: 64, SegLength: 4, Segments: 10, Step: 4, Seed: 1})
+	if err := b.Setup(tm); err == nil {
+		t.Fatalf("Step >= SegLength must be rejected")
+	}
+}
+
+func TestSingleThreaded(t *testing.T) {
+	tm := engines.MustNew("norec")
+	b := New(Params{GeneLength: 128, SegLength: 6, Segments: 100, Seed: 2})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package intruder is the STAMP network intrusion-detection benchmark: a
+// stream of out-of-order packet fragments is pulled from a shared
+// transactional queue, reassembled into flows in a transactional map, and
+// complete flows are scanned for attack signatures (pure CPU work outside
+// transactions). The transactional phase — dequeue a fragment, update the
+// flow's reassembly state, retire completed flows — has medium-sized,
+// bursty conflicts, the "simple conflict pattern" the paper groups intruder
+// under.
+package intruder
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ds/hashmap"
+	"repro/internal/ds/queue"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Params configures an intruder instance.
+type Params struct {
+	Flows        int
+	FragmentsPer int     // fragments per flow
+	FragmentSize int     // payload bytes per fragment
+	AttackPct    float64 // fraction of flows carrying the signature
+	Seed         uint64
+}
+
+// Default returns the benchmark-sized configuration.
+func Default() Params {
+	return Params{Flows: 1 << 10, FragmentsPer: 6, FragmentSize: 16, AttackPct: 0.1, Seed: 1}
+}
+
+// Small returns a test-sized instance.
+func Small() Params {
+	return Params{Flows: 64, FragmentsPer: 4, FragmentSize: 8, AttackPct: 0.2, Seed: 13}
+}
+
+// signature is the attack byte pattern planted in malicious flows.
+var signature = []byte("ATTACK!")
+
+// packet is one fragment of a flow.
+type packet struct {
+	flow    int
+	index   int
+	payload []byte
+}
+
+// flowState is the immutable reassembly record stored in the map: received
+// fragment payloads (nil for missing) and a countdown.
+type flowState struct {
+	got     []*packet
+	missing int
+}
+
+// Bench is one benchmark instance.
+type Bench struct {
+	p       Params
+	packets []*packet
+	attacks map[int]bool // planted attack flows
+
+	input    *queue.Queue
+	assembly *hashmap.Map // flow id -> *flowState
+
+	detectedMu sync.Mutex
+	detected   map[int]bool
+	processed  atomic.Int64
+}
+
+// New returns an intruder workload.
+func New(p Params) *Bench { return &Bench{p: p} }
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "intruder" }
+
+// Setup implements stamp.Workload: build flows (some carrying the attack
+// signature), fragment them, shuffle all fragments and enqueue them.
+func (b *Bench) Setup(tm stm.TM) error {
+	r := xrand.New(b.p.Seed)
+	b.attacks = map[int]bool{}
+	b.detected = map[int]bool{}
+	b.packets = make([]*packet, 0, b.p.Flows*b.p.FragmentsPer)
+	for f := 0; f < b.p.Flows; f++ {
+		payload := make([]byte, b.p.FragmentsPer*b.p.FragmentSize)
+		for i := range payload {
+			payload[i] = byte('a' + r.Intn(20)) // alphabet avoiding the signature
+		}
+		if r.Bool(b.p.AttackPct) {
+			pos := r.Intn(len(payload) - len(signature))
+			copy(payload[pos:], signature)
+			b.attacks[f] = true
+		}
+		for i := 0; i < b.p.FragmentsPer; i++ {
+			b.packets = append(b.packets, &packet{
+				flow:    f,
+				index:   i,
+				payload: payload[i*b.p.FragmentSize : (i+1)*b.p.FragmentSize],
+			})
+		}
+	}
+	r.Shuffle(len(b.packets), func(i, j int) {
+		b.packets[i], b.packets[j] = b.packets[j], b.packets[i]
+	})
+
+	b.input = queue.New(tm)
+	b.assembly = hashmap.New(tm, b.p.Flows)
+	const batch = 64
+	for lo := 0; lo < len(b.packets); lo += batch {
+		hi := lo + batch
+		if hi > len(b.packets) {
+			hi = len(b.packets)
+		}
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for _, p := range b.packets[lo:hi] {
+				b.input.Enqueue(tx, p)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements stamp.Workload: each worker loops { tx: dequeue + update
+// reassembly }, and scans completed flows outside the transaction.
+func (b *Bench) Run(tm stm.TM, threads int) error {
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var completed *flowState
+				var flowID int
+				var done bool
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					completed, done = nil, false
+					v, ok := b.input.Dequeue(tx)
+					if !ok {
+						done = true
+						return nil
+					}
+					p := v.(*packet)
+					flowID = p.flow
+					var st *flowState
+					if cur, ok := b.assembly.Get(tx, int64(p.flow)); ok {
+						st = cur.(*flowState)
+					} else {
+						st = &flowState{got: make([]*packet, b.p.FragmentsPer), missing: b.p.FragmentsPer}
+					}
+					if st.got[p.index] != nil {
+						return fmt.Errorf("intruder: duplicate fragment %d of flow %d", p.index, p.flow)
+					}
+					next := &flowState{got: append([]*packet(nil), st.got...), missing: st.missing - 1}
+					next.got[p.index] = p
+					if next.missing == 0 {
+						b.assembly.Delete(tx, int64(p.flow))
+						completed = next
+					} else {
+						b.assembly.Put(tx, int64(p.flow), next)
+					}
+					return nil
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				if done {
+					return
+				}
+				b.processed.Add(1)
+				if completed != nil {
+					// Detection phase: CPU-only scan outside the transaction.
+					full := make([]byte, 0, b.p.FragmentsPer*b.p.FragmentSize)
+					for _, frag := range completed.got {
+						full = append(full, frag.payload...)
+					}
+					if bytes.Contains(full, signature) {
+						b.detectedMu.Lock()
+						b.detected[flowID] = true
+						b.detectedMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Validate implements stamp.Workload: every packet processed, every flow
+// fully reassembled, and the detected attack set equals the planted one.
+func (b *Bench) Validate(tm stm.TM) error {
+	if got, want := b.processed.Load(), int64(len(b.packets)); got != want {
+		return fmt.Errorf("intruder: processed %d packets, want %d", got, want)
+	}
+	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
+		if n := b.assembly.Len(tx); n != 0 {
+			return fmt.Errorf("intruder: %d flows left unassembled", n)
+		}
+		if !b.input.Empty(tx) {
+			return fmt.Errorf("intruder: input queue not drained")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(b.detected) != len(b.attacks) {
+		return fmt.Errorf("intruder: detected %d attacks, planted %d", len(b.detected), len(b.attacks))
+	}
+	for f := range b.attacks {
+		if !b.detected[f] {
+			return fmt.Errorf("intruder: planted attack in flow %d not detected", f)
+		}
+	}
+	return nil
+}
+
+var _ stamp.Workload = (*Bench)(nil)

@@ -1,0 +1,75 @@
+package intruder
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+)
+
+func TestNoAttacksNoDetections(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New(Params{Flows: 32, FragmentsPer: 3, FragmentSize: 8, AttackPct: 0, Seed: 4})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.detected) != 0 {
+		t.Fatalf("false positives: %v", b.detected)
+	}
+}
+
+func TestAllAttacksDetected(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New(Params{Flows: 32, FragmentsPer: 3, FragmentSize: 8, AttackPct: 1.0, Seed: 4})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.attacks) != 32 {
+		t.Fatalf("planted %d attacks, want 32", len(b.attacks))
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureSpansFragments(t *testing.T) {
+	// With FragmentSize smaller than the signature, detection only works if
+	// reassembly is correct (the signature never fits in one fragment).
+	tm := engines.MustNew("norec")
+	b := New(Params{Flows: 16, FragmentsPer: 8, FragmentSize: 4, AttackPct: 1.0, Seed: 6})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketAccounting(t *testing.T) {
+	tm := engines.MustNew("jvstm")
+	p := Small()
+	b := New(p)
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(b.packets), p.Flows*p.FragmentsPer; got != want {
+		t.Fatalf("packets = %d, want %d", got, want)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.processed.Load(); got != int64(len(b.packets)) {
+		t.Fatalf("processed = %d, want %d", got, len(b.packets))
+	}
+}

@@ -1,0 +1,66 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+)
+
+func TestConvergesOnSeparatedClusters(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New("kmeans-test", Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.Iterations() == 0 {
+		t.Fatalf("no iterations ran")
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipComplete(t *testing.T) {
+	tm := engines.MustNew("norec")
+	b := New("kmeans-test", Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range b.membership {
+		if m < 0 || m >= b.p.Clusters {
+			t.Fatalf("point %d unassigned (%d)", i, m)
+		}
+	}
+}
+
+func TestHighAndLowPresetsDiffer(t *testing.T) {
+	lo, hi := Low(), High()
+	if lo.Clusters <= hi.Clusters {
+		t.Fatalf("low contention must use more clusters than high (%d vs %d)", lo.Clusters, hi.Clusters)
+	}
+}
+
+func TestAccumulatorsResetBetweenIterations(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New("kmeans-test", Params{Points: 60, Dims: 2, Clusters: 3, Threshold: 0, MaxIters: 3, Seed: 5})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0 forces all MaxIters rounds; per-round totals must stay
+	// Points (they would explode if accumulators were not reset).
+	if b.Iterations() != 3 {
+		t.Fatalf("iterations = %d, want 3", b.Iterations())
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}

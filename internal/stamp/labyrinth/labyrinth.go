@@ -1,0 +1,302 @@
+// Package labyrinth is the STAMP maze-routing benchmark: workers pull
+// (source, destination) work items and route non-overlapping paths through a
+// shared 3-D grid using Lee's breadth-first expansion. A router reads large
+// swaths of the grid (the expansion frontier) and writes only its final path
+// cells, so transactions are long with big read sets — the configuration
+// where classic validation aborts most and the paper reports the largest
+// time-warp wins.
+package labyrinth
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Params configures a labyrinth instance.
+type Params struct {
+	Width, Height, Depth int
+	Paths                int     // routing requests
+	WallFraction         float64 // fraction of cells pre-filled as walls
+	// MaxRadius bounds the src-dst Chebyshev distance of a request
+	// (0 = unbounded). STAMP's inputs route mostly local nets; locality
+	// keeps BFS read sets regional, which is what leaves concurrent routers
+	// commutable (and time-warpable) instead of reading the whole grid.
+	MaxRadius int
+	Seed      uint64
+}
+
+// Default returns the benchmark-sized configuration.
+func Default() Params {
+	return Params{Width: 48, Height: 48, Depth: 3, Paths: 64, WallFraction: 0.05, MaxRadius: 10, Seed: 1}
+}
+
+// Small returns a test-sized instance.
+func Small() Params {
+	return Params{Width: 12, Height: 12, Depth: 2, Paths: 10, WallFraction: 0.05, Seed: 11}
+}
+
+// Cell contents: empty, wall, or a positive path id.
+const (
+	empty = 0
+	wall  = -1
+)
+
+type point struct{ x, y, z int }
+
+type request struct {
+	id       int
+	src, dst point
+}
+
+// Bench is one benchmark instance.
+type Bench struct {
+	p    Params
+	grid []stm.Var // int per cell
+	reqs []request
+
+	routed   atomic.Int64
+	failed   atomic.Int64
+	pathCell map[int][]point // filled by Validate
+}
+
+// New returns a labyrinth workload.
+func New(p Params) *Bench { return &Bench{p: p} }
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "labyrinth" }
+
+func (b *Bench) idx(pt point) int {
+	return (pt.z*b.p.Height+pt.y)*b.p.Width + pt.x
+}
+
+func (b *Bench) inBounds(pt point) bool {
+	return pt.x >= 0 && pt.x < b.p.Width &&
+		pt.y >= 0 && pt.y < b.p.Height &&
+		pt.z >= 0 && pt.z < b.p.Depth
+}
+
+var dirs = []point{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}}
+
+// Setup implements stamp.Workload: carve walls and generate endpoint pairs on
+// distinct empty cells.
+func (b *Bench) Setup(tm stm.TM) error {
+	r := xrand.New(b.p.Seed)
+	cells := b.p.Width * b.p.Height * b.p.Depth
+	values := make([]int, cells)
+	for i := range values {
+		if r.Bool(b.p.WallFraction) {
+			values[i] = wall
+		}
+	}
+	used := map[point]bool{}
+	clampDim := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	pickFree := func(near *point) (point, bool) {
+		for tries := 0; tries < 4*cells; tries++ {
+			var pt point
+			if near == nil || b.p.MaxRadius <= 0 {
+				pt = point{r.Intn(b.p.Width), r.Intn(b.p.Height), r.Intn(b.p.Depth)}
+			} else {
+				rad := b.p.MaxRadius
+				pt = point{
+					clampDim(near.x+r.Intn(2*rad+1)-rad, 0, b.p.Width),
+					clampDim(near.y+r.Intn(2*rad+1)-rad, 0, b.p.Height),
+					r.Intn(b.p.Depth),
+				}
+			}
+			if values[b.idx(pt)] == empty && !used[pt] {
+				used[pt] = true
+				return pt, true
+			}
+		}
+		return point{}, false
+	}
+	b.reqs = make([]request, 0, b.p.Paths)
+	for i := 0; i < b.p.Paths; i++ {
+		src, ok1 := pickFree(nil)
+		if !ok1 {
+			break
+		}
+		dst, ok2 := pickFree(&src)
+		if !ok2 {
+			break
+		}
+		b.reqs = append(b.reqs, request{id: i + 1, src: src, dst: dst})
+	}
+	b.grid = make([]stm.Var, cells)
+	for i := range b.grid {
+		b.grid[i] = tm.NewVar(values[i])
+	}
+	return nil
+}
+
+// route is one routing transaction: BFS over transactionally-read cells, then
+// write the backtracked path. Returns false when no path exists in the
+// current grid state.
+func (b *Bench) route(tx stm.Tx, req request) bool {
+	cells := b.p.Width * b.p.Height * b.p.Depth
+	parent := make([]int, cells)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	free := func(pt point) bool {
+		v := tx.Read(b.grid[b.idx(pt)]).(int)
+		return v == empty
+	}
+	if !free(req.src) || !free(req.dst) {
+		return false
+	}
+	frontier := []point{req.src}
+	parent[b.idx(req.src)] = -1
+	found := false
+	for len(frontier) > 0 && !found {
+		var next []point
+		for _, pt := range frontier {
+			for _, d := range dirs {
+				np := point{pt.x + d.x, pt.y + d.y, pt.z + d.z}
+				if !b.inBounds(np) || parent[b.idx(np)] != -2 {
+					continue
+				}
+				if !free(np) {
+					parent[b.idx(np)] = -3 // blocked
+					continue
+				}
+				parent[b.idx(np)] = b.idx(pt)
+				if np == req.dst {
+					found = true
+					break
+				}
+				next = append(next, np)
+			}
+			if found {
+				break
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		return false
+	}
+	// Backtrack and claim the path cells.
+	for at := b.idx(req.dst); at != -1; at = parent[at] {
+		tx.Write(b.grid[at], req.id)
+	}
+	return true
+}
+
+// Run implements stamp.Workload.
+func (b *Bench) Run(tm stm.TM, threads int) error {
+	if threads < 1 {
+		threads = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(b.reqs) {
+					return
+				}
+				req := b.reqs[i]
+				var ok bool
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					ok = b.route(tx, req)
+					return nil
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				if ok {
+					b.routed.Add(1)
+				} else {
+					b.failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Routed reports how many paths were successfully laid.
+func (b *Bench) Routed() int64 { return b.routed.Load() }
+
+// Validate implements stamp.Workload: every laid path must be a connected
+// src-dst sequence of cells all owned by that path, and paths are disjoint
+// by construction of cell ownership.
+func (b *Bench) Validate(tm stm.TM) error {
+	if b.routed.Load()+b.failed.Load() != int64(len(b.reqs)) {
+		return fmt.Errorf("labyrinth: %d routed + %d failed != %d requests",
+			b.routed.Load(), b.failed.Load(), len(b.reqs))
+	}
+	if b.routed.Load() == 0 && len(b.reqs) > 0 {
+		return fmt.Errorf("labyrinth: no path routed at all")
+	}
+	b.pathCell = map[int][]point{}
+	return stm.Atomically(tm, true, func(tx stm.Tx) error {
+		owner := make(map[point]int)
+		for z := 0; z < b.p.Depth; z++ {
+			for y := 0; y < b.p.Height; y++ {
+				for x := 0; x < b.p.Width; x++ {
+					pt := point{x, y, z}
+					v := tx.Read(b.grid[b.idx(pt)]).(int)
+					if v > 0 {
+						owner[pt] = v
+						b.pathCell[v] = append(b.pathCell[v], pt)
+					}
+				}
+			}
+		}
+		for _, req := range b.reqs {
+			cells := b.pathCell[req.id]
+			if len(cells) == 0 {
+				continue // failed request
+			}
+			// src and dst must be owned by this path.
+			if owner[req.src] != req.id || owner[req.dst] != req.id {
+				return fmt.Errorf("labyrinth: path %d does not own its endpoints", req.id)
+			}
+			// Connectivity: BFS inside the owned cells from src reaches dst.
+			seen := map[point]bool{req.src: true}
+			queue := []point{req.src}
+			for len(queue) > 0 {
+				pt := queue[0]
+				queue = queue[1:]
+				for _, d := range dirs {
+					np := point{pt.x + d.x, pt.y + d.y, pt.z + d.z}
+					if b.inBounds(np) && owner[np] == req.id && !seen[np] {
+						seen[np] = true
+						queue = append(queue, np)
+					}
+				}
+			}
+			if !seen[req.dst] {
+				return fmt.Errorf("labyrinth: path %d is disconnected", req.id)
+			}
+		}
+		return nil
+	})
+}
+
+var _ stamp.Workload = (*Bench)(nil)

@@ -1,0 +1,96 @@
+package labyrinth
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+func TestRoutesAndValidates(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New(Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	if b.Routed() == 0 {
+		t.Fatalf("nothing routed")
+	}
+}
+
+func TestPathsAreDisjoint(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New(Params{Width: 10, Height: 10, Depth: 2, Paths: 8, WallFraction: 0, Seed: 3})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	// Cell ownership is exclusive by construction; double-check that no two
+	// paths share a cell via the ownership map Validate built.
+	seen := map[point]int{}
+	for id, cells := range b.pathCell {
+		for _, pt := range cells {
+			if other, dup := seen[pt]; dup {
+				t.Fatalf("cell %v owned by paths %d and %d", pt, other, id)
+			}
+			seen[pt] = id
+		}
+	}
+}
+
+func TestUnroutableWhenWalledIn(t *testing.T) {
+	// A single request whose destination is sealed off must fail gracefully.
+	tm := engines.MustNew("norec")
+	b := New(Params{Width: 5, Height: 5, Depth: 1, Paths: 0, WallFraction: 0, Seed: 1})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build: wall off (4,4); route (0,0) -> (4,4).
+	seal := []point{{3, 4, 0}, {4, 3, 0}, {3, 3, 0}}
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		for _, pt := range seal {
+			tx.Write(b.grid[b.idx(pt)], wall)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.reqs = []request{{id: 1, src: point{0, 0, 0}, dst: point{4, 4, 0}}}
+	if err := b.Run(tm, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.routed.Load() != 0 || b.failed.Load() != 1 {
+		t.Fatalf("routed=%d failed=%d, want 0/1", b.routed.Load(), b.failed.Load())
+	}
+}
+
+func TestShortestPathLaidIsConnectedManhattan(t *testing.T) {
+	// On an empty grid, the BFS path length equals the Manhattan distance.
+	tm := engines.MustNew("jvstm")
+	b := New(Params{Width: 8, Height: 8, Depth: 1, Paths: 0, WallFraction: 0, Seed: 1})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	b.reqs = []request{{id: 1, src: point{1, 1, 0}, dst: point{6, 4, 0}}}
+	if err := b.Run(tm, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	want := 5 + 3 + 1 // manhattan distance + src cell
+	if got := len(b.pathCell[1]); got != want {
+		t.Fatalf("path length %d, want %d", got, want)
+	}
+}

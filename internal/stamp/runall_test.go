@@ -1,0 +1,73 @@
+package stamp_test
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stamp"
+	"repro/internal/stamp/genome"
+	"repro/internal/stamp/intruder"
+	"repro/internal/stamp/kmeans"
+	"repro/internal/stamp/labyrinth"
+	"repro/internal/stamp/ssca2"
+	"repro/internal/stamp/vacation"
+)
+
+// small builds a test-sized instance of each application.
+func small() []func() stamp.Workload {
+	return []func() stamp.Workload{
+		func() stamp.Workload { return genome.New(genome.Small()) },
+		func() stamp.Workload { return intruder.New(intruder.Small()) },
+		func() stamp.Workload { return kmeans.New("kmeans-low", kmeans.Small()) },
+		func() stamp.Workload { return labyrinth.New(labyrinth.Small()) },
+		func() stamp.Workload { return ssca2.New(ssca2.Small()) },
+		func() stamp.Workload { return vacation.New("vacation-high", vacation.Small()) },
+	}
+}
+
+// TestAllAppsAllEngines runs every application's full Setup/Run/Validate
+// lifecycle on every engine with enough workers to exercise real conflicts.
+func TestAllAppsAllEngines(t *testing.T) {
+	for _, mk := range small() {
+		name := mk().Name()
+		t.Run(name, func(t *testing.T) {
+			for _, engine := range engines.Names() {
+				t.Run(engine, func(t *testing.T) {
+					tm := engines.MustNew(engine)
+					w := mk()
+					if err := w.Setup(tm); err != nil {
+						t.Fatalf("setup: %v", err)
+					}
+					if err := w.Run(tm, 4); err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if err := w.Validate(tm); err != nil {
+						t.Fatalf("validate: %v", err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSingleThreadDeterminism: with one worker, two runs on the same engine
+// must do the same amount of transactional work.
+func TestSingleThreadDeterminism(t *testing.T) {
+	run := func() uint64 {
+		tm := engines.MustNew("twm")
+		w := vacation.New("vacation-high", vacation.Small())
+		if err := w.Setup(tm); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(tm, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Validate(tm); err != nil {
+			t.Fatal(err)
+		}
+		return tm.Stats().Snapshot().Commits
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic single-thread runs: %d vs %d commits", a, b)
+	}
+}

@@ -1,0 +1,175 @@
+// Package ssca2 is the STAMP SSCA2 benchmark (kernel 1 of the Scalable
+// Synthetic Compact Applications graph suite): concurrent construction of a
+// directed multigraph's adjacency structure from a generated edge list. The
+// transactions are tiny — append one arc to a vertex's adjacency vector — so
+// the workload measures per-transaction fixed costs more than conflict
+// resolution, and no engine can win by avoiding aborts (the paper places it
+// among the "simple conflict pattern" benchmarks).
+package ssca2
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ds/tvector"
+	"repro/internal/stamp"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Params configures an SSCA2 instance.
+type Params struct {
+	Vertices int
+	Edges    int
+	// CliquePeers skews endpoints so some vertices are hot (R-MAT-like
+	// locality); 0 disables skew.
+	HotFraction float64
+	Seed        uint64
+}
+
+// Default returns the benchmark-sized configuration.
+func Default() Params {
+	return Params{Vertices: 1 << 11, Edges: 1 << 14, HotFraction: 0.1, Seed: 1}
+}
+
+// Small returns a test-sized instance.
+func Small() Params {
+	return Params{Vertices: 64, Edges: 512, HotFraction: 0.1, Seed: 5}
+}
+
+type edge struct {
+	u, v   int
+	weight int64
+}
+
+// Bench is one benchmark instance.
+type Bench struct {
+	p     Params
+	edges []edge
+	adj   []*tvector.Vector
+}
+
+// New returns an SSCA2 workload.
+func New(p Params) *Bench { return &Bench{p: p} }
+
+// Name implements stamp.Workload.
+func (b *Bench) Name() string { return "ssca2" }
+
+// Setup implements stamp.Workload: generate the edge list and pre-size each
+// vertex's adjacency vector to its final degree (kernel 1 knows the counts).
+func (b *Bench) Setup(tm stm.TM) error {
+	r := xrand.New(b.p.Seed)
+	hot := int(float64(b.p.Vertices) * b.p.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	pick := func() int {
+		if r.Bool(0.25) {
+			return r.Intn(hot) // skewed endpoint
+		}
+		return r.Intn(b.p.Vertices)
+	}
+	b.edges = make([]edge, b.p.Edges)
+	degree := make([]int, b.p.Vertices)
+	for i := range b.edges {
+		e := edge{u: pick(), v: pick(), weight: r.Int63() % 1000}
+		b.edges[i] = e
+		degree[e.u]++
+	}
+	b.adj = make([]*tvector.Vector, b.p.Vertices)
+	for v := range b.adj {
+		cap := degree[v]
+		if cap == 0 {
+			cap = 1
+		}
+		b.adj[v] = tvector.New(tm, cap)
+	}
+	return nil
+}
+
+// arc is the adjacency payload.
+type arc struct {
+	to     int
+	weight int64
+}
+
+// Run implements stamp.Workload: workers claim edges from a shared cursor and
+// append each arc transactionally.
+func (b *Bench) Run(tm stm.TM, threads int) error {
+	if threads < 1 {
+		threads = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	const batch = 16
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(batch)) - batch
+				if lo >= len(b.edges) {
+					return
+				}
+				hi := lo + batch
+				if hi > len(b.edges) {
+					hi = len(b.edges)
+				}
+				for _, e := range b.edges[lo:hi] {
+					e := e
+					if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+						if !b.adj[e.u].Push(tx, arc{to: e.v, weight: e.weight}) {
+							return fmt.Errorf("ssca2: adjacency overflow at vertex %d", e.u)
+						}
+						return nil
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Validate implements stamp.Workload: per-vertex degrees and the multiset of
+// arcs must match the generated edge list exactly.
+func (b *Bench) Validate(tm stm.TM) error {
+	wantDeg := make([]int, b.p.Vertices)
+	wantSum := make([]int64, b.p.Vertices)
+	for _, e := range b.edges {
+		wantDeg[e.u]++
+		wantSum[e.u] += int64(e.v) + e.weight
+	}
+	return stm.Atomically(tm, true, func(tx stm.Tx) error {
+		for v := 0; v < b.p.Vertices; v++ {
+			n := b.adj[v].Len(tx)
+			if n != wantDeg[v] {
+				return fmt.Errorf("ssca2: vertex %d degree %d, want %d", v, n, wantDeg[v])
+			}
+			var sum int64
+			for i := 0; i < n; i++ {
+				a := b.adj[v].Get(tx, i).(arc)
+				if a.to < 0 || a.to >= b.p.Vertices {
+					return fmt.Errorf("ssca2: vertex %d has arc to %d", v, a.to)
+				}
+				sum += int64(a.to) + a.weight
+			}
+			if sum != wantSum[v] {
+				return fmt.Errorf("ssca2: vertex %d arc checksum %d, want %d", v, sum, wantSum[v])
+			}
+		}
+		return nil
+	})
+}
+
+var _ stamp.Workload = (*Bench)(nil)

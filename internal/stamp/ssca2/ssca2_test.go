@@ -1,0 +1,99 @@
+package ssca2
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+func TestBuildAndValidate(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New(Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreesMatchEdgeList(t *testing.T) {
+	tm := engines.MustNew("norec")
+	b := New(Params{Vertices: 32, Edges: 200, HotFraction: 0.2, Seed: 8})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 32)
+	for _, e := range b.edges {
+		want[e.u]++
+	}
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		total := 0
+		for v := 0; v < 32; v++ {
+			if got := b.adj[v].Len(tx); got != want[v] {
+				t.Errorf("vertex %d degree = %d, want %d", v, got, want[v])
+			}
+			total += b.adj[v].Len(tx)
+		}
+		if total != 200 {
+			t.Errorf("total arcs = %d, want 200", total)
+		}
+		return nil
+	})
+}
+
+func TestHotSkewProducesHubs(t *testing.T) {
+	b := New(Default())
+	tm := engines.MustNew("tl2")
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	hot := int(float64(b.p.Vertices) * b.p.HotFraction)
+	hotDeg, coldDeg := 0, 0
+	for _, e := range b.edges {
+		if e.u < hot {
+			hotDeg++
+		} else {
+			coldDeg++
+		}
+	}
+	// Hot vertices are 10% of the id space but draw 25%+ of edges.
+	if float64(hotDeg) < 0.2*float64(len(b.edges)) {
+		t.Fatalf("skew missing: hot vertices hold only %d/%d edges", hotDeg, len(b.edges))
+	}
+	_ = coldDeg
+}
+
+func TestSingleThreadEqualsParallel(t *testing.T) {
+	degrees := func(threads int) []int {
+		tm := engines.MustNew("jvstm")
+		b := New(Params{Vertices: 32, Edges: 300, HotFraction: 0.1, Seed: 4})
+		if err := b.Setup(tm); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(tm, threads); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int, 32)
+		_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+			for v := range out {
+				out[v] = b.adj[v].Len(tx)
+			}
+			return nil
+		})
+		return out
+	}
+	a, b := degrees(1), degrees(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vertex %d degree differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package stamp defines the common harness interface for the Go ports of the
+// STAMP applications (Minh et al., IISWC 2008) used in §5.3 of the TWM paper:
+// genome, intruder, kmeans (low/high), labyrinth, ssca2 and vacation
+// (low/high). Yada is excluded (not available in the paper's Java port
+// either) and bayes is excluded for its non-determinism, matching the paper.
+//
+// Each application is a fixed amount of work: the benchmark metric is the
+// time to complete it with a given number of worker goroutines, plus the
+// abort rate accumulated on the way (Table 2).
+package stamp
+
+import "repro/internal/stm"
+
+// Workload is one STAMP application instance. The lifecycle is
+// Setup -> Run -> Validate, all against the same TM. Instances are
+// single-use: construct a fresh one per run.
+type Workload interface {
+	// Name is the benchmark's reporting name (e.g. "vacation-high").
+	Name() string
+	// Setup builds the initial shared state (single-threaded, may use
+	// transactions for convenience; not timed).
+	Setup(tm stm.TM) error
+	// Run executes the whole workload with the given number of worker
+	// goroutines and blocks until it completes (the timed region).
+	Run(tm stm.TM, threads int) error
+	// Validate checks application-level output invariants (not timed).
+	Validate(tm stm.TM) error
+}

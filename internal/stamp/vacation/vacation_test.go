@@ -1,0 +1,108 @@
+package vacation
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+func TestLifecycleBalances(t *testing.T) {
+	tm := engines.MustNew("twm")
+	b := New("vacation-test", Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(tm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := b.Stats()
+	if res == 0 {
+		t.Fatalf("no reservations made")
+	}
+}
+
+func TestMakeThenDeleteReleases(t *testing.T) {
+	tm := engines.MustNew("tl2")
+	b := New("vacation-test", Params{Relations: 16, Transactions: 0, Queries: 4, QueryRange: 1, UserPct: 1, Seed: 2})
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(3)
+	for i := 0; i < 20; i++ {
+		if err := b.makeReservation(tm, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatalf("after reservations: %v", err)
+	}
+	// Delete every customer: all Used counts must drop to zero.
+	for id := int64(0); id < 16; id++ {
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			custV, ok := b.customers.Get(tx, id)
+			if !ok {
+				return nil
+			}
+			list, _ := custV.(*resNode)
+			for n := list; n != nil; n = n.next {
+				v, _ := b.tables[n.kind].Get(tx, n.id)
+				res := v.(Reservation)
+				res.Used--
+				b.tables[n.kind].Put(tx, n.id, res)
+			}
+			b.customers.Put(tx, id, (*resNode)(nil))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatalf("after deletions: %v", err)
+	}
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		for k := Kind(0); k < numKinds; k++ {
+			b.tables[k].ForEach(tx, func(id int64, v stm.Value) bool {
+				if res := v.(Reservation); res.Used != 0 {
+					t.Errorf("resource %d/%d still used: %+v", k, id, res)
+				}
+				return true
+			})
+		}
+		return nil
+	})
+}
+
+func TestUpdateTablesKeepsInvariants(t *testing.T) {
+	tm := engines.MustNew("norec")
+	b := New("vacation-test", Small())
+	if err := b.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(5)
+	for i := 0; i < 100; i++ {
+		if err := b.updateTables(tm, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Validate(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetsMatchPaperKnobs(t *testing.T) {
+	lo, hi := Low(), High()
+	if lo.QueryRange <= hi.QueryRange {
+		t.Fatalf("low contention must query a wider range")
+	}
+	if lo.UserPct <= hi.UserPct {
+		t.Fatalf("low contention must have more pure reservations")
+	}
+	if lo.Queries >= hi.Queries {
+		t.Fatalf("high contention must touch more resources per tx")
+	}
+}

@@ -1,0 +1,158 @@
+package stm
+
+import (
+	"runtime"
+	"time"
+)
+
+// AbortReason classifies why an engine restarted a transaction. The TWM paper
+// distinguishes aborts caused by the classic validation rule from those caused
+// by its triad rule; the bench harness reports the split.
+type AbortReason uint8
+
+const (
+	// ReasonNone is used for bookkeeping slots that never fired.
+	ReasonNone AbortReason = iota
+	// ReasonReadConflict: a read observed state newer than the snapshot
+	// allows (classic validation failure on the read side).
+	ReasonReadConflict
+	// ReasonWriteConflict: commit-time write/write conflict or failure to
+	// acquire ownership of a written variable.
+	ReasonWriteConflict
+	// ReasonTriad: TWM Rule 2 — committing would make the transaction the
+	// time-warping pivot of a triad (source and target flags both raised).
+	ReasonTriad
+	// ReasonTimeWarpSkip: TWM early abort — an update transaction skipped a
+	// version committed by a concurrent time-warping transaction
+	// (natOrder != twOrder above the snapshot).
+	ReasonTimeWarpSkip
+	// ReasonLockTimeout: bounded spinning on a peer's commit lock expired;
+	// the transaction self-aborts to avoid deadlock (substitution for the
+	// lock-free commit of the paper's prototype).
+	ReasonLockTimeout
+	// ReasonIntervalEmpty: AVSTM — the transaction's validity interval
+	// (lb, ub) became empty, so no serialization point exists.
+	ReasonIntervalEmpty
+	// ReasonUser: explicit Retry requested by user code.
+	ReasonUser
+
+	numAbortReasons
+)
+
+// String returns a short stable label for the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonReadConflict:
+		return "read-conflict"
+	case ReasonWriteConflict:
+		return "write-conflict"
+	case ReasonTriad:
+		return "triad"
+	case ReasonTimeWarpSkip:
+		return "timewarp-skip"
+	case ReasonLockTimeout:
+		return "lock-timeout"
+	case ReasonIntervalEmpty:
+		return "interval-empty"
+	case ReasonUser:
+		return "user"
+	}
+	return "unknown"
+}
+
+// retrySignal is the sentinel panic value used for non-local aborts from
+// inside transaction bodies (the Go analogue of Deuce's abort exception).
+type retrySignal struct {
+	reason AbortReason
+}
+
+// Retry aborts the current transaction and re-executes it from the top. It
+// must be called (directly or transitively) from inside an Atomically body.
+// Engines use it for early aborts discovered during Read; user code may use it
+// to wait for a state change (the retry is subject to backoff).
+func Retry(reason AbortReason) {
+	panic(retrySignal{reason: reason})
+}
+
+// Atomically executes fn as a transaction of tm, retrying until it commits.
+//
+// fn may be executed several times; it must be idempotent apart from its
+// transactional reads and writes. Returning a non-nil error aborts the
+// transaction without retrying and returns that error (user-level abort).
+// Panics other than retry signals propagate after the engine cleans up.
+func Atomically(tm TM, readOnly bool, fn func(Tx) error) error {
+	var bo Backoff
+	for {
+		tx := tm.Begin(readOnly)
+		err, retry := runOnce(tm, tx, fn)
+		if !retry {
+			return err
+		}
+		bo.Wait()
+	}
+}
+
+// runOnce executes one attempt of fn, mapping retry-signal panics to a retry
+// request and committing on success.
+func runOnce(tm TM, tx Tx, fn func(Tx) error) (err error, retry bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			tm.Abort(tx)
+			if _, ok := r.(retrySignal); ok {
+				retry = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tm.Abort(tx)
+		return err, false
+	}
+	return nil, !tm.Commit(tx)
+}
+
+// Backoff implements randomized exponential backoff between transaction
+// retries. The zero value is ready to use. The first few retries merely yield
+// the processor (cheap on contended single-core schedules); later retries
+// sleep for a bounded, randomized exponential duration.
+type Backoff struct {
+	attempt int
+	rng     uint64
+}
+
+// backoff tuning. Caps keep worst-case latency bounded under pathological
+// contention while still separating contenders in time.
+const (
+	backoffYields   = 2
+	backoffBaseNS   = 1 << 10 // ~1us
+	backoffMaxShift = 10      // cap at ~1ms
+)
+
+// Wait blocks for the next backoff period and advances the schedule.
+func (b *Backoff) Wait() {
+	b.attempt++
+	if b.attempt <= backoffYields {
+		runtime.Gosched()
+		return
+	}
+	if b.rng == 0 {
+		// Seed lazily from the clock; per-Backoff state avoids global
+		// rand lock contention on the hot retry path.
+		b.rng = uint64(time.Now().UnixNano()) | 1
+	}
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	shift := b.attempt - backoffYields
+	if shift > backoffMaxShift {
+		shift = backoffMaxShift
+	}
+	window := uint64(backoffBaseNS) << uint(shift)
+	time.Sleep(time.Duration(b.rng % window))
+}
+
+// Reset returns the backoff schedule to its initial state.
+func (b *Backoff) Reset() { b.attempt = 0 }

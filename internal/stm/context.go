@@ -1,0 +1,27 @@
+package stm
+
+import "context"
+
+// AtomicallyCtx is Atomically with cancellation: between retry attempts it
+// checks ctx and gives up with ctx.Err() once the context is done. A
+// transaction attempt already in flight is never interrupted midway (there
+// is no preemption point inside an attempt), so a cancelled call returns
+// only from a consistent state: either before starting an attempt or after
+// one aborted.
+//
+// Use it for request-scoped work where livelock under pathological
+// contention must be bounded by a deadline rather than by backoff alone.
+func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error) error {
+	var bo Backoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx := tm.Begin(readOnly)
+		err, retry := runOnce(tm, tx, fn)
+		if !retry {
+			return err
+		}
+		bo.Wait()
+	}
+}

@@ -1,0 +1,65 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAtomicallyCtxCommits(t *testing.T) {
+	tm := &fakeTM{}
+	v := tm.NewVar(0)
+	if err := AtomicallyCtx(context.Background(), tm, false, func(tx Tx) error {
+		tx.Write(v, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if tm.commits != 1 {
+		t.Fatalf("commits = %d", tm.commits)
+	}
+}
+
+func TestAtomicallyCtxCancelledBeforeStart(t *testing.T) {
+	tm := &fakeTM{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs := 0
+	err := AtomicallyCtx(ctx, tm, false, func(Tx) error {
+		runs++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if runs != 0 {
+		t.Fatalf("body ran %d times after cancellation", runs)
+	}
+}
+
+func TestAtomicallyCtxStopsRetrying(t *testing.T) {
+	// A TM that always rejects commits: without cancellation the call would
+	// retry forever; the deadline must end it.
+	tm := &fakeTM{failCommits: 1 << 30}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := AtomicallyCtx(ctx, tm, false, func(Tx) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took too long")
+	}
+}
+
+func TestAtomicallyCtxUserError(t *testing.T) {
+	tm := &fakeTM{}
+	boom := errors.New("boom")
+	if err := AtomicallyCtx(context.Background(), tm, false, func(Tx) error {
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package stm
+
+import "sync/atomic"
+
+// Stats holds an engine's live transaction counters. All fields are updated
+// atomically; engines share one Stats per TM instance. The abort-rate metric
+// matches the paper (§5): restarts divided by executions, where executions
+// count both committed and restarted attempts.
+type Stats struct {
+	starts    atomic.Uint64
+	commits   atomic.Uint64
+	roCommits atomic.Uint64
+	aborts    atomic.Uint64
+	byReason  [numAbortReasons]atomic.Uint64
+}
+
+// RecordStart notes one transaction attempt.
+func (s *Stats) RecordStart() { s.starts.Add(1) }
+
+// RecordCommit notes a successful commit; readOnly commits are also tracked
+// separately so benchmarks can verify mv-permissiveness claims.
+func (s *Stats) RecordCommit(readOnly bool) {
+	s.commits.Add(1)
+	if readOnly {
+		s.roCommits.Add(1)
+	}
+}
+
+// RecordAbort notes one restart with its cause.
+func (s *Stats) RecordAbort(reason AbortReason) {
+	s.aborts.Add(1)
+	s.byReason[reason].Add(1)
+}
+
+// Snapshot is a consistent-enough copy of the counters for reporting.
+type Snapshot struct {
+	Starts    uint64
+	Commits   uint64
+	ROCommits uint64
+	Aborts    uint64
+	ByReason  map[string]uint64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Starts:    s.starts.Load(),
+		Commits:   s.commits.Load(),
+		ROCommits: s.roCommits.Load(),
+		Aborts:    s.aborts.Load(),
+		ByReason:  make(map[string]uint64),
+	}
+	for r := AbortReason(0); r < numAbortReasons; r++ {
+		if n := s.byReason[r].Load(); n > 0 {
+			snap.ByReason[r.String()] = n
+		}
+	}
+	return snap
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.starts.Store(0)
+	s.commits.Store(0)
+	s.roCommits.Store(0)
+	s.aborts.Store(0)
+	for i := range s.byReason {
+		s.byReason[i].Store(0)
+	}
+}
+
+// AbortRate returns aborts/(commits+aborts) as in the paper's §5 metric, or 0
+// when no transaction ran.
+func (sn Snapshot) AbortRate() float64 {
+	total := sn.Commits + sn.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(sn.Aborts) / float64(total)
+}

@@ -1,0 +1,29 @@
+package stm
+
+// TVar is a typed wrapper over an engine Var. It removes the type assertions
+// from user code; the transactional data structures and example applications
+// in this repository are written against TVar.
+type TVar[T any] struct {
+	v Var
+}
+
+// NewTVar allocates a transactional variable of tm holding init.
+func NewTVar[T any](tm TM, init T) *TVar[T] {
+	return &TVar[T]{v: tm.NewVar(init)}
+}
+
+// Get reads the variable inside tx.
+func (t *TVar[T]) Get(tx Tx) T {
+	val := tx.Read(t.v)
+	if val == nil {
+		var zero T
+		return zero
+	}
+	return val.(T)
+}
+
+// Set writes the variable inside tx.
+func (t *TVar[T]) Set(tx Tx, val T) { tx.Write(t.v, val) }
+
+// Raw exposes the underlying engine handle (used by the DSG oracle).
+func (t *TVar[T]) Raw() Var { return t.v }

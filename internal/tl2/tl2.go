@@ -1,0 +1,295 @@
+// Package tl2 implements the Transactional Locking II algorithm of Dice,
+// Shalev and Shavit (DISC 2006) over the common stm API: a single-version STM
+// with a global version clock and per-variable versioned write locks, using
+// the classic validation rule ("commit in the present"). It is one of the two
+// single-thread-efficient baselines of the TWM paper's evaluation (§5).
+//
+// Transactions sample a read version rv at begin. Reads are consistent if the
+// variable is unlocked and its version is at most rv (sandwich check). Commit
+// locks the write set in id order, increments the clock to obtain the write
+// version wv, validates the read set (unlocked-or-mine, version <= rv) and
+// publishes values at version wv. Read-only transactions keep no read set and
+// need no commit-time validation (each read is individually consistent at rv),
+// matching the methodology note in the paper's §5.
+package tl2
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Options tunes a TL2 instance. The zero value uses defaults.
+type Options struct {
+	// LockSpinBudget bounds spinning on a peer's write lock before aborting.
+	LockSpinBudget int
+}
+
+const defaultSpinLimit = 512
+
+// TM is a TL2 instance.
+type TM struct {
+	opts  Options
+	clock atomic.Uint64
+	stats stm.Stats
+	prof  atomic.Pointer[stm.Profiler]
+
+	varID   atomic.Uint64
+	history atomic.Bool
+}
+
+// New returns a TL2 instance.
+func New(opts Options) *TM {
+	if opts.LockSpinBudget == 0 {
+		opts.LockSpinBudget = defaultSpinLimit
+	}
+	tm := &TM{opts: opts}
+	tm.clock.Store(1)
+	return tm
+}
+
+// Name implements stm.TM.
+func (tm *TM) Name() string { return "tl2" }
+
+// Stats implements stm.TM.
+func (tm *TM) Stats() *stm.Stats { return &tm.stats }
+
+// SetProfiler implements stm.Profilable.
+func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
+
+// tlvar packs the versioned lock (version<<1 | lockbit) and the value. The
+// value pointer is only replaced while the lock bit is held, and readers
+// sandwich the value load between two meta loads.
+type tlvar struct {
+	id   uint64
+	meta atomic.Uint64
+	val  atomic.Pointer[stm.Value]
+
+	histMu sync.Mutex
+	hist   []stm.VersionRecord
+}
+
+const lockBit = 1
+
+func metaVersion(m uint64) uint64 { return m >> 1 }
+func metaLocked(m uint64) bool    { return m&lockBit != 0 }
+
+// NewVar implements stm.TM.
+func (tm *TM) NewVar(initial stm.Value) stm.Var {
+	v := &tlvar{id: tm.varID.Add(1)}
+	v.val.Store(&initial)
+	return v
+}
+
+// txn is a TL2 transaction.
+type txn struct {
+	tm       *TM
+	readOnly bool
+	rv       uint64
+
+	readSet   []*tlvar
+	writeSet  map[*tlvar]stm.Value
+	writeVars []*tlvar
+	locked    []*tlvar
+}
+
+// ReadOnly implements stm.Tx.
+func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// Begin implements stm.TM.
+func (tm *TM) Begin(readOnly bool) stm.Tx {
+	tm.stats.RecordStart()
+	tx := &txn{tm: tm, readOnly: readOnly, rv: tm.clock.Load()}
+	if !readOnly {
+		tx.writeSet = make(map[*tlvar]stm.Value, 8)
+	}
+	return tx
+}
+
+// Read implements stm.Tx: the TL2 read barrier with the pre/post sandwich.
+func (tx *txn) Read(v stm.Var) stm.Value {
+	tv := v.(*tlvar)
+	prof := tx.tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+	}
+	if !tx.readOnly {
+		if val, ok := tx.writeSet[tv]; ok {
+			if prof != nil {
+				prof.AddRead(prof.Now() - t0)
+			}
+			return val
+		}
+	}
+	for spins := 0; ; spins++ {
+		m1 := tv.meta.Load()
+		if !metaLocked(m1) {
+			val := *tv.val.Load()
+			if tv.meta.Load() == m1 {
+				if metaVersion(m1) > tx.rv {
+					// The variable changed after our snapshot: classic
+					// validation admits no extension, abort.
+					tx.tm.stats.RecordAbort(stm.ReasonReadConflict)
+					stm.Retry(stm.ReasonReadConflict)
+				}
+				if !tx.readOnly {
+					tx.readSet = append(tx.readSet, tv)
+				}
+				if prof != nil {
+					prof.AddRead(prof.Now() - t0)
+				}
+				return val
+			}
+		}
+		if spins >= tx.tm.opts.LockSpinBudget {
+			tx.tm.stats.RecordAbort(stm.ReasonLockTimeout)
+			stm.Retry(stm.ReasonLockTimeout)
+		}
+		runtime.Gosched()
+	}
+}
+
+// Write implements stm.Tx.
+func (tx *txn) Write(v stm.Var, val stm.Value) {
+	if tx.readOnly {
+		panic("tl2: Write on a read-only transaction")
+	}
+	tv := v.(*tlvar)
+	if _, ok := tx.writeSet[tv]; !ok {
+		tx.writeVars = append(tx.writeVars, tv)
+	}
+	tx.writeSet[tv] = val
+}
+
+// Abort implements stm.TM.
+func (tm *TM) Abort(txi stm.Tx) {
+	tx := txi.(*txn)
+	tx.releaseLocks()
+}
+
+func (tx *txn) releaseLocks() {
+	for _, v := range tx.locked {
+		m := v.meta.Load()
+		v.meta.Store(m &^ lockBit)
+	}
+	tx.locked = tx.locked[:0]
+}
+
+// lockVar acquires tv's write lock with bounded spinning.
+func (tx *txn) lockVar(tv *tlvar) bool {
+	for spins := 0; ; spins++ {
+		m := tv.meta.Load()
+		if !metaLocked(m) {
+			if metaVersion(m) > tx.rv {
+				return false // already newer than our snapshot: doomed
+			}
+			if tv.meta.CompareAndSwap(m, m|lockBit) {
+				tx.locked = append(tx.locked, tv)
+				return true
+			}
+			continue
+		}
+		if spins >= tx.tm.opts.LockSpinBudget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// Commit implements stm.TM.
+func (tm *TM) Commit(txi stm.Tx) bool {
+	tx := txi.(*txn)
+	if tx.readOnly || len(tx.writeSet) == 0 {
+		tm.stats.RecordCommit(tx.readOnly)
+		return true
+	}
+	prof := tm.prof.Load()
+	var t0 int64
+	if prof != nil {
+		t0 = prof.Now()
+		defer prof.AddTx()
+	}
+
+	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
+	for _, v := range tx.writeVars {
+		if !tx.lockVar(v) {
+			tx.releaseLocks()
+			tm.stats.RecordAbort(stm.ReasonWriteConflict)
+			return false
+		}
+	}
+	wv := tm.clock.Add(1)
+
+	if prof != nil {
+		now := prof.Now()
+		prof.AddCommit(now - t0) // lock acquisition counts as commit work
+		t0 = now
+	}
+
+	// Classic read-set validation: every read variable must still be at a
+	// version <= rv and not locked by another transaction. The wv == rv+1
+	// shortcut (no concurrent committer) is from the original TL2 paper.
+	if wv != tx.rv+1 {
+		for _, v := range tx.readSet {
+			m := v.meta.Load()
+			if metaVersion(m) > tx.rv || (metaLocked(m) && !tx.holds(v)) {
+				tx.releaseLocks()
+				tm.stats.RecordAbort(stm.ReasonReadConflict)
+				if prof != nil {
+					prof.AddReadSetVal(prof.Now() - t0)
+				}
+				return false
+			}
+		}
+	}
+	if prof != nil {
+		now := prof.Now()
+		prof.AddReadSetVal(now - t0)
+		t0 = now
+	}
+
+	for _, v := range tx.writeVars {
+		val := tx.writeSet[v]
+		v.val.Store(&val)
+		if tm.history.Load() {
+			v.histMu.Lock()
+			v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: wv})
+			v.histMu.Unlock()
+		}
+		v.meta.Store(wv << 1) // publish new version and release the lock
+	}
+	tx.locked = tx.locked[:0]
+	if prof != nil {
+		prof.AddCommit(prof.Now() - t0)
+	}
+	tm.stats.RecordCommit(false)
+	return true
+}
+
+func (tx *txn) holds(v *tlvar) bool {
+	for _, l := range tx.locked {
+		if l == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EnableHistory implements stm.HistoryRecording.
+func (tm *TM) EnableHistory() { tm.history.Store(true) }
+
+// History implements stm.HistoryRecording: versions in commit (serialization)
+// order.
+func (tm *TM) History(v stm.Var) []stm.VersionRecord {
+	tv := v.(*tlvar)
+	tv.histMu.Lock()
+	defer tv.histMu.Unlock()
+	out := make([]stm.VersionRecord, len(tv.hist))
+	copy(out, tv.hist)
+	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	return out
+}

@@ -1,0 +1,206 @@
+// Package trace provides a TM middleware that records per-transaction event
+// streams (begin, read, write, commit, abort) with logical sequence numbers.
+// It is a debugging and analysis aid: replaying a trace shows exactly which
+// barriers a transaction executed, how often it retried and what it touched
+// — useful when diagnosing contention pathologies in workloads or engines.
+//
+// Like bench.WithYield, the wrapper composes with any stm.TM; recording is
+// bounded by a ring capacity so long runs do not accumulate unbounded
+// memory.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Kind labels trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	Begin Kind = iota
+	Read
+	Write
+	Commit
+	Abort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	}
+	return "?"
+}
+
+// Event is one recorded step.
+type Event struct {
+	Seq      uint64 // global sequence number (total order of recording)
+	Tx       uint64 // transaction attempt id
+	Kind     Kind
+	Var      stm.Var // nil for begin/commit/abort
+	ReadOnly bool
+}
+
+// TM wraps an inner engine with event recording.
+type TM struct {
+	inner stm.TM
+	seq   atomic.Uint64
+	txSeq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+}
+
+// New wraps inner, keeping the most recent capacity events (default 4096).
+func New(inner stm.TM, capacity int) *TM {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &TM{inner: inner, ring: make([]Event, capacity)}
+}
+
+// Name implements stm.TM.
+func (t *TM) Name() string { return t.inner.Name() + "+trace" }
+
+// NewVar implements stm.TM.
+func (t *TM) NewVar(initial stm.Value) stm.Var { return t.inner.NewVar(initial) }
+
+// Stats implements stm.TM.
+func (t *TM) Stats() *stm.Stats { return t.inner.Stats() }
+
+func (t *TM) record(e Event) {
+	e.Seq = t.seq.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Begin implements stm.TM.
+func (t *TM) Begin(readOnly bool) stm.Tx {
+	id := t.txSeq.Add(1)
+	t.record(Event{Tx: id, Kind: Begin, ReadOnly: readOnly})
+	return &tracedTx{inner: t.inner.Begin(readOnly), tm: t, id: id, readOnly: readOnly}
+}
+
+// Commit implements stm.TM.
+func (t *TM) Commit(tx stm.Tx) bool {
+	tt := tx.(*tracedTx)
+	ok := t.inner.Commit(tt.inner)
+	if ok {
+		t.record(Event{Tx: tt.id, Kind: Commit, ReadOnly: tt.readOnly})
+	} else {
+		t.record(Event{Tx: tt.id, Kind: Abort, ReadOnly: tt.readOnly})
+	}
+	return ok
+}
+
+// Abort implements stm.TM.
+func (t *TM) Abort(tx stm.Tx) {
+	tt := tx.(*tracedTx)
+	t.inner.Abort(tt.inner)
+	t.record(Event{Tx: tt.id, Kind: Abort, ReadOnly: tt.readOnly})
+}
+
+// Events returns the recorded events, oldest first.
+func (t *TM) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes a human-readable rendering of the trace to w.
+func (t *TM) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		ro := ""
+		if e.ReadOnly {
+			ro = " ro"
+		}
+		if e.Var != nil {
+			fmt.Fprintf(w, "%6d tx%-5d %-6s %p%s\n", e.Seq, e.Tx, e.Kind, e.Var, ro)
+		} else {
+			fmt.Fprintf(w, "%6d tx%-5d %-6s%s\n", e.Seq, e.Tx, e.Kind, ro)
+		}
+	}
+}
+
+// Summary aggregates the trace into per-outcome counts and mean barrier
+// counts per attempt.
+type Summary struct {
+	Attempts, Commits, Aborts  int
+	ReadsPerAttempt, WritesPer float64
+}
+
+// Summarize computes aggregate statistics over the recorded window.
+func (t *TM) Summarize() Summary {
+	events := t.Events()
+	var s Summary
+	reads, writes := 0, 0
+	for _, e := range events {
+		switch e.Kind {
+		case Begin:
+			s.Attempts++
+		case Commit:
+			s.Commits++
+		case Abort:
+			s.Aborts++
+		case Read:
+			reads++
+		case Write:
+			writes++
+		}
+	}
+	if s.Attempts > 0 {
+		s.ReadsPerAttempt = float64(reads) / float64(s.Attempts)
+		s.WritesPer = float64(writes) / float64(s.Attempts)
+	}
+	return s
+}
+
+// tracedTx forwards to the inner transaction, recording each barrier.
+type tracedTx struct {
+	inner    stm.Tx
+	tm       *TM
+	id       uint64
+	readOnly bool
+}
+
+func (t *tracedTx) Read(v stm.Var) stm.Value {
+	t.tm.record(Event{Tx: t.id, Kind: Read, Var: v, ReadOnly: t.readOnly})
+	return t.inner.Read(v)
+}
+
+func (t *tracedTx) Write(v stm.Var, val stm.Value) {
+	t.tm.record(Event{Tx: t.id, Kind: Write, Var: v, ReadOnly: t.readOnly})
+	t.inner.Write(v, val)
+}
+
+func (t *tracedTx) ReadOnly() bool { return t.readOnly }

@@ -1,0 +1,107 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/trace"
+)
+
+func TestRecordsLifecycle(t *testing.T) {
+	tm := trace.New(core.New(core.Options{}), 64)
+	x := tm.NewVar(0)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		tx.Write(x, tx.Read(x).(int)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := tm.Events()
+	kinds := make([]trace.Kind, len(events))
+	for i, e := range events {
+		kinds[i] = e.Kind
+	}
+	want := []trace.Kind{trace.Begin, trace.Read, trace.Write, trace.Commit}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	if events[1].Var == nil {
+		t.Fatalf("read event lost its variable")
+	}
+	s := tm.Summarize()
+	if s.Attempts != 1 || s.Commits != 1 || s.Aborts != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ReadsPerAttempt != 1 || s.WritesPer != 1 {
+		t.Fatalf("summary barriers = %+v", s)
+	}
+}
+
+func TestRecordsAborts(t *testing.T) {
+	tm := trace.New(core.New(core.Options{}), 64)
+	x := tm.NewVar(0)
+	t1 := tm.Begin(false)
+	t1.Read(x)
+	t1.Write(x, 1)
+	t2 := tm.Begin(false)
+	t2.Read(x)
+	t2.Write(x, 2)
+	if !tm.Commit(t1) {
+		t.Fatalf("t1 commit failed")
+	}
+	if tm.Commit(t2) {
+		t.Fatalf("t2 should abort")
+	}
+	s := tm.Summarize()
+	if s.Commits != 1 || s.Aborts != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tm := trace.New(core.New(core.Options{}), 8)
+	x := tm.NewVar(0)
+	for i := 0; i < 10; i++ {
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			tx.Write(x, i)
+			return nil
+		})
+	}
+	events := tm.Events()
+	if len(events) != 8 {
+		t.Fatalf("ring kept %d events, want 8", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+func TestDumpRendering(t *testing.T) {
+	tm := trace.New(core.New(core.Options{}), 16)
+	x := tm.NewVar(0)
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		tx.Read(x)
+		return nil
+	})
+	var buf bytes.Buffer
+	tm.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"begin", "read", "commit", " ro"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if tm.Name() != "twm+trace" {
+		t.Fatalf("name = %q", tm.Name())
+	}
+}

@@ -1,0 +1,112 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := New(7)
+	s0, s1 := base.Split(0), base.Split(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look correlated: %d collisions", same)
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == r.Uint64() {
+		t.Fatalf("degenerate stream from zero seed")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(9)
+	s := []int{1, 2, 3, 4, 5, 6}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 21 {
+		t.Fatalf("elements lost: %v", s)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatalf("negative Int63")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package xrand
+
+import "math"
+
+// Zipf draws keys from a Zipf(s) distribution over [0, n): rank r is drawn
+// with probability proportional to 1/(r+1)^s. Workload generators use it to
+// skew accesses toward hot keys, the standard way to raise contention
+// without shrinking the data set.
+//
+// The implementation precomputes the CDF into a lookup table sized for
+// O(log n) binary-search sampling; build cost is O(n). The table is
+// immutable after construction, so one Zipf may be shared by many workers,
+// each sampling through its own Rand.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i)
+}
+
+// NewZipf returns a sampler over [0, n) with exponent s (s = 0 is uniform,
+// larger is more skewed; 0.99 is the YCSB default). It panics if n <= 0 or
+// s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Next draws a rank in [0, n) using r; rank 0 is the hottest key.
+func (z *Zipf) Next(r *Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,80 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRange(t *testing.T) {
+	f := func(seed uint64, n uint8, tenthS uint8) bool {
+		if n == 0 {
+			return true
+		}
+		z := NewZipf(int(n), float64(tenthS%30)/10)
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := z.Next(r)
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 100, 20000
+	z := NewZipf(n, 1.0)
+	r := New(7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	// Rank 0 should be drawn roughly n/H(n) times more often than rank n-1;
+	// loosely: rank 0 must dominate rank 50 by at least 10x at s=1.
+	if counts[0] < 10*counts[50] {
+		t.Fatalf("insufficient skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// And the distribution must still have a tail.
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatalf("no tail mass at all")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	const n, draws = 10, 50000
+	z := NewZipf(n, 0)
+	r := New(3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next(r)]++
+	}
+	for i, c := range counts {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("s=0 not uniform: counts[%d]=%d", i, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
