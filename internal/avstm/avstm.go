@@ -77,12 +77,19 @@ type TM struct {
 	stats    stm.Stats
 	prof     atomic.Pointer[stm.Profiler]
 
+	// txns pools transaction descriptors across attempts; see Recycle.
+	txns sync.Pool
+
 	varID   atomic.Uint64
 	history atomic.Bool
 }
 
 // New returns an AVSTM instance.
-func New() *TM { return &TM{} }
+func New() *TM {
+	tm := &TM{}
+	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
+	return tm
+}
 
 // Name implements stm.TM.
 func (tm *TM) Name() string { return "avstm" }
@@ -115,9 +122,13 @@ func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	}
 }
 
-// txn is an AVSTM transaction.
+// txn is an AVSTM transaction. Descriptors are pooled (see Recycle); reuse
+// is safe against stale clamps because deregister acquires every joined
+// variable's mutex, ordering it after any in-flight clampUB from a committer
+// that found this transaction in a reader registry.
 type txn struct {
 	tm       *TM
+	stats    *stm.StatShard // striped counters; assigned once per descriptor
 	readOnly bool
 
 	mu   sync.Mutex // protects lb, ub, done against concurrent clamps
@@ -125,9 +136,8 @@ type txn struct {
 	ub   uint64     // exclusive upper bound; noUpperBound = +inf
 	done bool       // finalized: clamps are no-ops
 
-	readSet   []*avar
-	writeSet  map[*avar]stm.Value
-	writeVars []*avar
+	readSet  []*avar
+	writeSet stm.WriteSet[*avar]
 }
 
 // ReadOnly implements stm.Tx.
@@ -135,12 +145,28 @@ func (tx *txn) ReadOnly() bool { return tx.readOnly }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
-	tm.stats.RecordStart()
-	tx := &txn{tm: tm, readOnly: readOnly, ub: noUpperBound}
-	if !readOnly {
-		tx.writeSet = make(map[*avar]stm.Value, 8)
-	}
+	tx := tm.txns.Get().(*txn)
+	tx.readOnly = readOnly
+	// No lock needed: the descriptor is not registered in any reader
+	// registry, so nothing can clamp it yet (pool New leaves ub zero).
+	tx.lb, tx.ub, tx.done = 0, noUpperBound, false
+	tx.stats.RecordStart()
 	return tx
+}
+
+// Recycle implements stm.TxRecycler: reset the descriptor and return it to
+// the pool. Only stm.Atomically calls this, after an attempt has fully
+// finished (every finish path has already deregistered, so readSet is empty;
+// the reset clears the stale backing array so pooled descriptors do not pin
+// dead variables).
+func (tm *TM) Recycle(txi stm.Tx) {
+	tx, ok := txi.(*txn)
+	if !ok {
+		return
+	}
+	tx.readSet = stm.ResetVarSlice(tx.readSet)
+	tx.writeSet.Reset()
+	tm.txns.Put(tx)
 }
 
 // clampUB lowers the transaction's upper bound to p. Callers hold the global
@@ -178,7 +204,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 		t0 = prof.Now()
 	}
 	if !tx.readOnly {
-		if val, ok := tx.writeSet[tv]; ok {
+		if val, ok := tx.writeSet.Get(tv); ok {
 			if prof != nil {
 				prof.AddRead(prof.Now() - t0)
 			}
@@ -198,7 +224,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 		prof.AddRead(prof.Now() - t0)
 	}
 	if !ok {
-		tx.tm.stats.RecordAbort(stm.ReasonIntervalEmpty)
+		tx.stats.RecordAbort(stm.ReasonIntervalEmpty)
 		tx.deregister()
 		stm.Retry(stm.ReasonIntervalEmpty)
 	}
@@ -210,11 +236,7 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	if tx.readOnly {
 		panic("avstm: Write on a read-only transaction")
 	}
-	tv := v.(*avar)
-	if _, ok := tx.writeSet[tv]; !ok {
-		tx.writeVars = append(tx.writeVars, tv)
-	}
-	tx.writeSet[tv] = val
+	tx.writeSet.Put(v.(*avar), val)
 }
 
 // deregister removes the transaction from every reader registry it joined.
@@ -256,7 +278,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 
 	tm.commitMu.Lock()
 
-	if tx.readOnly || len(tx.writeSet) == 0 {
+	if tx.readOnly || tx.writeSet.Len() == 0 {
 		// Serialize inside (lb, ub): every read value was written at or
 		// below lb and not overwritten below ub > p.
 		p, ok := choosePoint(tx.lb, tx.ub)
@@ -277,13 +299,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		tm.commitMu.Unlock()
 		if !ok {
 			tx.deregister()
-			tm.stats.RecordAbort(stm.ReasonIntervalEmpty)
+			tx.stats.RecordAbort(stm.ReasonIntervalEmpty)
 			if prof != nil {
 				prof.AddReadSetVal(prof.Now() - t0)
 			}
 			return false
 		}
-		tm.stats.RecordCommit(tx.readOnly)
+		tx.stats.RecordCommit(tx.readOnly)
 		if prof != nil {
 			prof.AddCommit(prof.Now() - t0)
 		}
@@ -293,7 +315,9 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// Writer: serialize after every previous writer and committed reader of
 	// the write set.
 	lbOK := true
-	for _, v := range tx.writeVars {
+	ents := tx.writeSet.Entries()
+	for i := range ents {
+		v := ents[i].Key
 		v.mu.Lock()
 		w := v.wts
 		if v.rts > w {
@@ -318,7 +342,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if !ok {
 		tm.commitMu.Unlock()
 		tx.deregister()
-		tm.stats.RecordAbort(stm.ReasonIntervalEmpty)
+		tx.stats.RecordAbort(stm.ReasonIntervalEmpty)
 		return false
 	}
 
@@ -326,14 +350,15 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// must serialize before p), then publish. Clamp and write-back happen
 	// under the same per-variable mutex, so a reader either registered in
 	// time to be clamped or observes the new value and timestamp.
-	for _, v := range tx.writeVars {
+	for i := range ents {
+		v := ents[i].Key
 		v.mu.Lock()
 		for r := range v.readers {
 			if r != tx {
 				r.clampUB(p)
 			}
 		}
-		v.value = tx.writeSet[v]
+		v.value = ents[i].Val
 		v.wts = p
 		if tm.history.Load() {
 			v.hist = append(v.hist, stm.VersionRecord{Value: v.value, Serial: p})
@@ -361,7 +386,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if prof != nil {
 		prof.AddCommit(prof.Now() - t0)
 	}
-	tm.stats.RecordCommit(false)
+	tx.stats.RecordCommit(false)
 	return true
 }
 

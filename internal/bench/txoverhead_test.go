@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+// BenchmarkTxOverhead measures the fixed per-transaction cost of every engine
+// on an uncontended single goroutine: no conflicts, no parallelism, so ns/op
+// and allocs/op isolate the constant factors the TWM paper's "lightweight"
+// claim rests on (begin/commit bookkeeping, write-set maintenance, version
+// installation). Run with:
+//
+//	go test ./internal/bench -bench TxOverhead -benchmem -run '^$'
+//
+// Three transaction shapes per engine, matching the allocation-regression
+// tests in internal/engines: a read-only transaction touching 8 variables, a
+// 1-read-1-write update, and an 8-write update.
+func BenchmarkTxOverhead(b *testing.B) {
+	for _, name := range engines.Names() {
+		b.Run(name, func(b *testing.B) {
+			const nv = 64
+			tm := engines.MustNew(name)
+			vars := make([]stm.Var, nv)
+			for i := range vars {
+				// Values stay below 256 so boxing hits the runtime's
+				// small-int cache and adds no allocations of its own.
+				vars[i] = tm.NewVar(i % 251)
+			}
+
+			b.Run("readonly8", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					base := i % (nv - 8)
+					_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+						for k := 0; k < 8; k++ {
+							_ = tx.Read(vars[base+k])
+						}
+						return nil
+					})
+				}
+			})
+
+			b.Run("update1", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					v := vars[i%nv]
+					_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+						tx.Write(v, (tx.Read(v).(int)+1)%251)
+						return nil
+					})
+				}
+			})
+
+			b.Run("update8", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					base := i % (nv - 8)
+					_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+						for k := 0; k < 8; k++ {
+							v := vars[base+k]
+							tx.Write(v, (tx.Read(v).(int)+1)%251)
+						}
+						return nil
+					})
+				}
+			})
+		})
+	}
+}

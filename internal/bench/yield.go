@@ -2,6 +2,7 @@ package bench
 
 import (
 	"runtime"
+	"sync"
 
 	"repro/internal/stm"
 )
@@ -20,12 +21,17 @@ func WithYield(tm stm.TM, every int) stm.TM {
 	if every <= 0 {
 		return tm
 	}
-	return &yieldTM{inner: tm, every: every}
+	y := &yieldTM{inner: tm, every: every}
+	y.rec, _ = tm.(stm.TxRecycler)
+	y.pool.New = func() any { return &yieldTx{} }
+	return y
 }
 
 type yieldTM struct {
 	inner stm.TM
+	rec   stm.TxRecycler // inner's recycler; nil when unsupported
 	every int
+	pool  sync.Pool // of *yieldTx wrappers
 }
 
 func (y *yieldTM) Name() string { return y.inner.Name() }
@@ -33,7 +39,24 @@ func (y *yieldTM) Name() string { return y.inner.Name() }
 func (y *yieldTM) NewVar(initial stm.Value) stm.Var { return y.inner.NewVar(initial) }
 
 func (y *yieldTM) Begin(readOnly bool) stm.Tx {
-	return &yieldTx{inner: y.inner.Begin(readOnly), every: y.every}
+	t := y.pool.Get().(*yieldTx)
+	t.inner, t.every, t.n = y.inner.Begin(readOnly), y.every, 0
+	return t
+}
+
+// Recycle implements stm.TxRecycler: the wrapper returns to its own pool and
+// the wrapped transaction is forwarded to the inner engine's recycler.
+func (y *yieldTM) Recycle(tx stm.Tx) {
+	t, ok := tx.(*yieldTx)
+	if !ok {
+		return
+	}
+	inner := t.inner
+	t.inner = nil
+	y.pool.Put(t)
+	if y.rec != nil {
+		y.rec.Recycle(inner)
+	}
 }
 
 func (y *yieldTM) Commit(tx stm.Tx) bool { return y.inner.Commit(tx.(*yieldTx).inner) }

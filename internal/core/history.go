@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/stm"
@@ -37,11 +37,20 @@ func (tm *TM) History(v stm.Var) []stm.VersionRecord {
 	out := make([]stm.VersionRecord, len(tv.hist.records))
 	copy(out, tv.hist.records)
 	tv.hist.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Serial != out[j].Serial {
-			return out[i].Serial < out[j].Serial
+	slices.SortFunc(out, func(a, b stm.VersionRecord) int {
+		if a.Serial != b.Serial {
+			if a.Serial < b.Serial {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Tie > out[j].Tie
+		switch {
+		case a.Tie > b.Tie:
+			return -1
+		case a.Tie < b.Tie:
+			return 1
+		}
+		return 0
 	})
 	return out
 }

@@ -34,13 +34,13 @@ import "repro/internal/stm"
 // cross-engine conformance battery and the DSG serializability oracle (see
 // opacity_test.go), plus an in-flight snapshot-consistency check.
 func (tx *txn) readOpaque(tv *twvar) stm.Value {
-	if val, ok := tx.writeSet[tv]; ok {
+	if val, ok := tx.writeSet.Get(tv); ok {
 		return val // read-after-write
 	}
 	tx.readSet = append(tx.readSet, tv)
 	tv.semiVisibleRead(tx.tm.clock.Load())
 	if !tv.waitUnlocked(tx, tx.tm.opts.LockSpinBudget) {
-		tx.tm.stats.RecordAbort(stm.ReasonLockTimeout)
+		tx.stats.RecordAbort(stm.ReasonLockTimeout)
 		stm.Retry(stm.ReasonLockTimeout)
 	}
 	ver := tv.latest.Load()

@@ -25,7 +25,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +74,10 @@ type TM struct {
 	gcCount atomic.Uint64
 	gcMu    sync.Mutex
 
+	// txns pools transaction descriptors (with their read/write-set backing
+	// arrays and active-set slot) across attempts; see Recycle.
+	txns sync.Pool
+
 	varsMu  sync.Mutex
 	vars    []*twvar
 	history atomic.Bool
@@ -97,6 +100,7 @@ func New(opts Options) *TM {
 	// keep natOrder = twOrder = 0 and are visible to every snapshot).
 	tm.clock.Store(1)
 	tm.active = mvutil.NewActiveSet()
+	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
 	return tm
 }
 
@@ -158,6 +162,9 @@ type twvar struct {
 
 	hist *historyLog // non-nil only when history recording is enabled
 }
+
+// VarID implements stm.IDedVar (commit-lock ordering).
+func (v *twvar) VarID() uint64 { return v.id }
 
 // NewVar implements stm.TM.
 func (tm *TM) NewVar(initial stm.Value) stm.Var {
@@ -222,15 +229,16 @@ func (v *twvar) semiVisibleRead(ts uint64) {
 	}
 }
 
-// txn is a TWM transaction (Table 1's Tx struct).
+// txn is a TWM transaction (Table 1's Tx struct). Descriptors are pooled
+// (see Recycle); every slice below keeps its backing array across reuse.
 type txn struct {
 	tm       *TM
+	stats    *stm.StatShard // striped counters; assigned once per descriptor
 	readOnly bool
 	start    uint64 // S(tx)
 
-	readSet   []*twvar
-	writeSet  map[*twvar]stm.Value
-	writeVars []*twvar // insertion-ordered keys of writeSet
+	readSet  []*twvar
+	writeSet stm.WriteSet[*twvar] // insertion-ordered, commit sorts by id
 
 	source     bool   // tx is the source of an anti-dependency edge
 	target     bool   // tx is the target of an anti-dependency edge
@@ -238,8 +246,8 @@ type txn struct {
 	natOrder   uint64 // N(tx), assigned at commit
 	twOrder    uint64 // TW(tx), assigned at commit
 
-	locked []*twvar // commit locks currently held (for failure cleanup)
-	slot   *mvutil.Slot
+	locked []*twvar    // commit locks currently held (for failure cleanup)
+	slot   mvutil.Slot // active-set registration, reused across attempts
 }
 
 // ReadOnly implements stm.Tx.
@@ -248,18 +256,34 @@ func (tx *txn) ReadOnly() bool { return tx.readOnly }
 // Begin implements stm.TM. The returned transaction observes the snapshot
 // defined by the logical clock at this instant (S(tx)).
 func (tm *TM) Begin(readOnly bool) stm.Tx {
-	tm.stats.RecordStart()
-	tx := &txn{tm: tm, readOnly: readOnly}
+	tx := tm.txns.Get().(*txn)
+	tx.readOnly = readOnly
+	tx.stats.RecordStart()
 	// Register in the active set before sampling the start timestamp so the
-	// garbage collector can never trim a version this transaction may read:
-	// the registered value is <= start, hence the GC bound is too.
+	// garbage collector can never trim a version this transaction may read.
+	// One clock sample serves both: the registered value equals start, hence
+	// the GC bound is <= start.
 	c0 := tm.clock.Load()
-	tx.slot = tm.active.Register(c0)
-	tx.start = tm.clock.Load()
-	if !readOnly {
-		tx.writeSet = make(map[*twvar]stm.Value, 8)
-	}
+	tm.active.Register(&tx.slot, c0)
+	tx.start = c0
 	return tx
+}
+
+// Recycle implements stm.TxRecycler: reset the descriptor and return it to
+// the pool. Only stm.Atomically calls this, after an attempt has fully
+// finished; manual Begin/Commit users (tests, examples) never recycle, so
+// post-commit inspection such as CommitOrders stays valid for them.
+func (tm *TM) Recycle(txi stm.Tx) {
+	tx, ok := txi.(*txn)
+	if !ok {
+		return
+	}
+	tx.readSet = stm.ResetVarSlice(tx.readSet)
+	tx.writeSet.Reset()
+	tx.locked = stm.ResetVarSlice(tx.locked)
+	tx.source, tx.target = false, false
+	tx.minAntiDep, tx.natOrder, tx.twOrder, tx.start = 0, 0, 0, 0
+	tm.txns.Put(tx)
 }
 
 // Read implements stm.Tx (paper's READ plus SEMIVISIBLEREAD).
@@ -304,18 +328,18 @@ func (tx *txn) readRO(tv *twvar) stm.Value {
 // natOrder must be <= start, and skipping a version produced by a concurrent
 // time-warp commit is an early Rule 2 abort.
 func (tx *txn) readUpdate(tv *twvar) stm.Value {
-	if val, ok := tx.writeSet[tv]; ok {
+	if val, ok := tx.writeSet.Get(tv); ok {
 		return val // read-after-write
 	}
 	tx.readSet = append(tx.readSet, tv)
 	if !tv.waitUnlocked(tx, tx.tm.opts.LockSpinBudget) {
-		tx.tm.stats.RecordAbort(stm.ReasonLockTimeout)
+		tx.stats.RecordAbort(stm.ReasonLockTimeout)
 		stm.Retry(stm.ReasonLockTimeout)
 	}
 	ver := tv.latest.Load()
 	for ver.twOrder > tx.start || ver.natOrder > tx.start {
 		if ver.timeWarped() {
-			tx.tm.stats.RecordAbort(stm.ReasonTimeWarpSkip)
+			tx.stats.RecordAbort(stm.ReasonTimeWarpSkip)
 			stm.Retry(stm.ReasonTimeWarpSkip)
 		}
 		ver = ver.next.Load()
@@ -328,11 +352,7 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	if tx.readOnly {
 		panic("core: Write on a read-only transaction")
 	}
-	tv := v.(*twvar)
-	if _, ok := tx.writeSet[tv]; !ok {
-		tx.writeVars = append(tx.writeVars, tv)
-	}
-	tx.writeSet[tv] = val
+	tx.writeSet.Put(v.(*twvar), val)
 }
 
 // Abort implements stm.TM: cleanup after a retry signal or user abort.
@@ -341,8 +361,7 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 func (tm *TM) Abort(txi stm.Tx) {
 	tx := txi.(*txn)
 	tx.releaseLocks()
-	tm.active.Unregister(tx.slot)
-	tx.slot = nil
+	tm.active.Unregister(&tx.slot)
 }
 
 func (tx *txn) releaseLocks() {
@@ -357,12 +376,9 @@ func (tx *txn) releaseLocks() {
 // all cleanup has already happened in that case.
 func (tm *TM) Commit(txi stm.Tx) bool {
 	tx := txi.(*txn)
-	defer func() {
-		tm.active.Unregister(tx.slot)
-		tx.slot = nil
-	}()
+	defer tm.active.Unregister(&tx.slot)
 
-	if tx.readOnly || len(tx.writeSet) == 0 {
+	if tx.readOnly || tx.writeSet.Len() == 0 {
 		// Read-only transactions never validate and never abort. An update
 		// transaction that wrote nothing also commits unvalidated: in the
 		// default mode its visibility rule early-aborts on any concurrently
@@ -370,7 +386,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		// S(tx); in opacity mode its reads already follow the read-only
 		// rule. Writing nothing, it cannot be the target of an
 		// anti-dependency, so no triad can pivot on it.
-		tm.stats.RecordCommit(tx.readOnly)
+		tx.stats.RecordCommit(tx.readOnly)
 		return true
 	}
 
@@ -383,9 +399,14 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 
 	// HANDLEWRITE: acquire commit locks in id order (deadlock avoidance) and
 	// detect anti-dependencies targeting tx via the semi-visible read stamps.
-	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
+	// Lookups are over, so sorting the entries in place is legal; the
+	// insertion-sort fast path plus a closure-free comparator keeps this off
+	// the allocator entirely (sort.Slice boxed the closure and the swapper).
+	ents := tx.writeSet.Entries()
+	stm.SortEntriesByID(ents)
 	budget := tm.opts.LockSpinBudget
-	for _, v := range tx.writeVars {
+	for i := range ents {
+		v := ents[i].Key
 		if !v.lock(tx, budget) {
 			return tm.failCommit(tx, stm.ReasonLockTimeout)
 		}
@@ -477,15 +498,15 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		tx.twOrder = tx.minAntiDep // time-warp commit, before every missed writer
 	}
 
-	for _, v := range tx.writeVars {
-		tm.createNewVersion(tx, v, tx.writeSet[v])
-		v.unlock(tx)
+	for i := range ents {
+		tm.createNewVersion(tx, ents[i].Key, ents[i].Val)
+		ents[i].Key.unlock(tx)
 	}
 	tx.locked = tx.locked[:0]
 	if prof != nil {
 		prof.AddCommit(prof.Now() - t0)
 	}
-	tm.stats.RecordCommit(false)
+	tx.stats.RecordCommit(false)
 	tm.maybeGC()
 	return true
 }
@@ -493,7 +514,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 // failCommit records the abort, releases held locks and reports failure.
 func (tm *TM) failCommit(tx *txn, reason stm.AbortReason) bool {
 	tx.releaseLocks()
-	tm.stats.RecordAbort(reason)
+	tx.stats.RecordAbort(reason)
 	return false
 }
 

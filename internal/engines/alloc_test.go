@@ -1,0 +1,125 @@
+package engines_test
+
+import (
+	"testing"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+// Steady-state allocation budgets per engine, measured after transaction
+// descriptors became pooled and write sets moved off Go maps. The read-only
+// path allocates nothing on every engine. The update path keeps only the
+// irreducible per-written-variable cost: the multi-versioned engines (twm*,
+// jvstm) allocate one version node per written variable, and the single-
+// version engines (tl2, norec) box each published value into an escaping
+// interface cell; avstm publishes in place under the variable mutex and
+// allocates nothing at all. A regression here means a hot-path allocation
+// crept back in — tighten the code, not the budget.
+var allocBudgets = map[string]struct{ readOnly, update float64 }{
+	"twm":        {0, 8},
+	"twm-notw":   {0, 8},
+	"twm-opaque": {0, 8},
+	"jvstm":      {0, 8},
+	"tl2":        {0, 8},
+	"norec":      {0, 8},
+	"avstm":      {0, 0},
+}
+
+// TestAllocsReadOnly verifies the read path allocates nothing once the
+// per-engine transaction pool is warm: Begin reuses a pooled descriptor,
+// reads append into retained backing arrays, and commit touches no heap.
+func TestAllocsReadOnly(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			budget, ok := allocBudgets[name]
+			if !ok {
+				t.Fatalf("engine %q has no allocation budget; add one", name)
+			}
+			tm := engines.MustNew(name)
+			vars := make([]stm.Var, 8)
+			for i := range vars {
+				vars[i] = tm.NewVar(i)
+			}
+			roTx := func() {
+				_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+					for _, v := range vars {
+						_ = tx.Read(v)
+					}
+					return nil
+				})
+			}
+			roTx() // warm the descriptor pool and slice capacities
+			if got := testing.AllocsPerRun(200, roTx); got > budget.readOnly {
+				t.Errorf("read-only tx: %.1f allocs/op, budget %.0f", got, budget.readOnly)
+			}
+		})
+	}
+}
+
+// TestAllocsSmallUpdate verifies an uncontended 8-write update transaction
+// stays within the engine's irreducible per-write allocation cost (version
+// nodes or boxed published values) — the map-based write set and fresh
+// descriptor that used to dominate are gone. Values stay below 256 so
+// interface boxing of the ints themselves is allocation-free.
+func TestAllocsSmallUpdate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			budget, ok := allocBudgets[name]
+			if !ok {
+				t.Fatalf("engine %q has no allocation budget; add one", name)
+			}
+			tm := engines.MustNew(name)
+			vars := make([]stm.Var, 8)
+			for i := range vars {
+				vars[i] = tm.NewVar(i)
+			}
+			n := 0
+			upTx := func() {
+				n++
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					for _, v := range vars {
+						x := tx.Read(v).(int)
+						tx.Write(v, (x+n)%251)
+					}
+					return nil
+				})
+			}
+			upTx() // warm the descriptor pool and slice capacities
+			if got := testing.AllocsPerRun(200, upTx); got > budget.update {
+				t.Errorf("8-write tx: %.1f allocs/op, budget %.0f", got, budget.update)
+			}
+		})
+	}
+}
+
+// TestAllocsEmptyUpdate verifies an update transaction that writes nothing
+// commits without touching the heap — the write buffer is lazily grown, so
+// a read-mostly workload declared as updates pays nothing for the privilege.
+func TestAllocsEmptyUpdate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			v := tm.NewVar(7)
+			emptyTx := func() {
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					_ = tx.Read(v)
+					return nil
+				})
+			}
+			emptyTx()
+			if got := testing.AllocsPerRun(200, emptyTx); got > 0 {
+				t.Errorf("empty-write-set update tx: %.1f allocs/op, budget 0", got)
+			}
+		})
+	}
+}

@@ -70,17 +70,48 @@ type Stats struct {
 // TM is a hybrid transactional memory over an inner software engine.
 type TM struct {
 	inner stm.TM
+	rec   stm.TxRecycler // inner's recycler; nil when unsupported
 	opts  Options
 	// commits is the global commit subscription: every update commit (hw or
 	// sw) bumps it; a hardware attempt that observes movement aborts.
 	commits atomic.Uint64
 	stats   Stats
+	// hwPool recycles hwTx wrappers (and their read/write tracking maps)
+	// across hardware attempts.
+	hwPool sync.Pool
 }
 
 // New wraps inner with the hybrid scheduler.
 func New(inner stm.TM, opts Options) *TM {
 	opts.defaults()
-	return &TM{inner: inner, opts: opts}
+	tm := &TM{inner: inner, opts: opts}
+	tm.rec, _ = inner.(stm.TxRecycler)
+	tm.hwPool.New = func() any {
+		return &hwTx{
+			tm:     tm,
+			reads:  make(map[stm.Var]struct{}, 8),
+			writes: make(map[stm.Var]struct{}, 4),
+		}
+	}
+	return tm
+}
+
+// recycleInner hands a finished inner transaction back to the inner engine's
+// pool, mirroring what stm.Atomically does for the fallback path.
+func (tm *TM) recycleInner(tx stm.Tx) {
+	if tm.rec != nil {
+		tm.rec.Recycle(tx)
+	}
+}
+
+// releaseHW returns a hardware wrapper to the pool with its tracking maps
+// cleared (the maps themselves are kept — they stay small by construction,
+// bounded by MaxReads/MaxWrites).
+func (tm *TM) releaseHW(t *hwTx) {
+	clear(t.reads)
+	clear(t.writes)
+	t.inner = nil
+	tm.hwPool.Put(t)
 }
 
 // Inner returns the fallback engine.
@@ -154,16 +185,13 @@ func (tm *TM) Atomically(readOnly bool, fn func(stm.Tx) error) error {
 func (tm *TM) tryHardware(readOnly bool, fn func(stm.Tx) error, r *xrand.Rand) (err error, committed bool) {
 	sub := tm.commits.Load() // subscribe
 	inner := tm.inner.Begin(readOnly)
-	tx := &hwTx{
-		inner:    inner,
-		tm:       tm,
-		reads:    make(map[stm.Var]struct{}, 8),
-		writes:   make(map[stm.Var]struct{}, 4),
-		readOnly: readOnly,
-	}
+	tx := tm.hwPool.Get().(*hwTx)
+	tx.inner, tx.readOnly = inner, readOnly
+	defer tm.releaseHW(tx)
 	defer func() {
 		if p := recover(); p != nil {
 			tm.inner.Abort(inner)
+			tm.recycleInner(inner)
 			if ha, ok := p.(hwAbort); ok {
 				ha.cause.Add(1)
 				err, committed = nil, false
@@ -181,6 +209,7 @@ func (tm *TM) tryHardware(readOnly bool, fn func(stm.Tx) error, r *xrand.Rand) (
 	}
 	if userErr := fn(tx); userErr != nil {
 		tm.inner.Abort(inner)
+		tm.recycleInner(inner)
 		return userErr, true
 	}
 	// Eager conflict check: any update commit during the window kills the
@@ -188,7 +217,9 @@ func (tm *TM) tryHardware(readOnly bool, fn func(stm.Tx) error, r *xrand.Rand) (
 	if !readOnly && tm.commits.Load() != sub {
 		panic(hwAbort{cause: &tm.stats.HWConflicts})
 	}
-	if !tm.inner.Commit(inner) {
+	committedInner := tm.inner.Commit(inner)
+	tm.recycleInner(inner)
+	if !committedInner {
 		tm.stats.HWConflicts.Add(1)
 		return nil, false
 	}

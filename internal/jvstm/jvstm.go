@@ -13,7 +13,7 @@ package jvstm
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +47,9 @@ type TM struct {
 	gcCount atomic.Uint64
 	gcMu    sync.Mutex
 
+	// txns pools transaction descriptors across attempts; see Recycle.
+	txns sync.Pool
+
 	varsMu  sync.Mutex
 	vars    []*jvar
 	history atomic.Bool
@@ -63,6 +66,7 @@ func New(opts Options) *TM {
 	tm := &TM{opts: opts}
 	tm.clock.Store(1)
 	tm.active = mvutil.NewActiveSet()
+	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
 	return tm
 }
 
@@ -95,6 +99,9 @@ type jvar struct {
 	hist   []stm.VersionRecord
 }
 
+// VarID implements stm.IDedVar (commit-lock ordering).
+func (v *jvar) VarID() uint64 { return v.id }
+
 // NewVar implements stm.TM.
 func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	v := &jvar{}
@@ -106,17 +113,18 @@ func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	return v
 }
 
-// txn is a JVSTM transaction.
+// txn is a JVSTM transaction. Descriptors are pooled (see Recycle); the
+// slices keep their backing arrays across reuse.
 type txn struct {
 	tm       *TM
+	stats    *stm.StatShard // striped counters; assigned once per descriptor
 	readOnly bool
 	start    uint64
 
-	readSet   []*jvar
-	writeSet  map[*jvar]stm.Value
-	writeVars []*jvar
-	locked    []*jvar
-	slot      *mvutil.Slot
+	readSet  []*jvar
+	writeSet stm.WriteSet[*jvar]
+	locked   []*jvar
+	slot     mvutil.Slot
 }
 
 // ReadOnly implements stm.Tx.
@@ -124,15 +132,32 @@ func (tx *txn) ReadOnly() bool { return tx.readOnly }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
-	tm.stats.RecordStart()
-	tx := &txn{tm: tm, readOnly: readOnly}
+	tx := tm.txns.Get().(*txn)
+	tx.readOnly = readOnly
+	tx.stats.RecordStart()
+	// One clock sample serves both the active-set registration and the
+	// snapshot: the GC bound is registered before the snapshot is used and
+	// equals it, so the collector can never trim a version this transaction
+	// may read.
 	c0 := tm.clock.Load()
-	tx.slot = tm.active.Register(c0)
-	tx.start = tm.clock.Load()
-	if !readOnly {
-		tx.writeSet = make(map[*jvar]stm.Value, 8)
-	}
+	tm.active.Register(&tx.slot, c0)
+	tx.start = c0
 	return tx
+}
+
+// Recycle implements stm.TxRecycler: reset the descriptor and return it to
+// the pool. Only stm.Atomically calls this, after an attempt has fully
+// finished; manual Begin/Commit users never recycle.
+func (tm *TM) Recycle(txi stm.Tx) {
+	tx, ok := txi.(*txn)
+	if !ok {
+		return
+	}
+	tx.readSet = stm.ResetVarSlice(tx.readSet)
+	tx.writeSet.Reset()
+	tx.locked = stm.ResetVarSlice(tx.locked)
+	tx.start = 0
+	tm.txns.Put(tx)
 }
 
 // Read implements stm.Tx: multi-version reads never conflict-abort — the
@@ -152,7 +177,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 		t0 = prof.Now()
 	}
 	if !tx.readOnly {
-		if val, ok := tx.writeSet[tv]; ok {
+		if val, ok := tx.writeSet.Get(tv); ok {
 			if prof != nil {
 				prof.AddRead(prof.Now() - t0)
 			}
@@ -178,19 +203,14 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	if tx.readOnly {
 		panic("jvstm: Write on a read-only transaction")
 	}
-	tv := v.(*jvar)
-	if _, ok := tx.writeSet[tv]; !ok {
-		tx.writeVars = append(tx.writeVars, tv)
-	}
-	tx.writeSet[tv] = val
+	tx.writeSet.Put(v.(*jvar), val)
 }
 
 // Abort implements stm.TM.
 func (tm *TM) Abort(txi stm.Tx) {
 	tx := txi.(*txn)
 	tx.releaseLocks()
-	tm.active.Unregister(tx.slot)
-	tx.slot = nil
+	tm.active.Unregister(&tx.slot)
 }
 
 func (tx *txn) releaseLocks() {
@@ -204,12 +224,9 @@ func (tx *txn) releaseLocks() {
 // set ("commit in the present"), publish versions at the new clock value.
 func (tm *TM) Commit(txi stm.Tx) bool {
 	tx := txi.(*txn)
-	defer func() {
-		tm.active.Unregister(tx.slot)
-		tx.slot = nil
-	}()
-	if tx.readOnly || len(tx.writeSet) == 0 {
-		tm.stats.RecordCommit(tx.readOnly)
+	defer tm.active.Unregister(&tx.slot)
+	if tx.readOnly || tx.writeSet.Len() == 0 {
+		tx.stats.RecordCommit(tx.readOnly)
 		return true
 	}
 	prof := tm.prof.Load()
@@ -219,11 +236,14 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		defer prof.AddTx()
 	}
 
-	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
-	for _, v := range tx.writeVars {
-		if !tx.lockVar(v) {
+	// Lookups are over: sort the write entries in place by id (deadlock
+	// avoidance) without sort.Slice's closure allocations.
+	ents := tx.writeSet.Entries()
+	stm.SortEntriesByID(ents)
+	for i := range ents {
+		if !tx.lockVar(ents[i].Key) {
 			tx.releaseLocks()
-			tm.stats.RecordAbort(stm.ReasonWriteConflict)
+			tx.stats.RecordAbort(stm.ReasonWriteConflict)
 			return false
 		}
 	}
@@ -247,12 +267,12 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	for _, v := range tx.readSet {
 		if !tx.waitUnlocked(v) {
 			tx.releaseLocks()
-			tm.stats.RecordAbort(stm.ReasonLockTimeout)
+			tx.stats.RecordAbort(stm.ReasonLockTimeout)
 			return false
 		}
 		if v.head.Load().ver > tx.start {
 			tx.releaseLocks()
-			tm.stats.RecordAbort(stm.ReasonReadConflict)
+			tx.stats.RecordAbort(stm.ReasonReadConflict)
 			if prof != nil {
 				prof.AddReadSetVal(prof.Now() - t0)
 			}
@@ -265,8 +285,8 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		t0 = now
 	}
 
-	for _, v := range tx.writeVars {
-		val := tx.writeSet[v]
+	for i := range ents {
+		v, val := ents[i].Key, ents[i].Val
 		nv := &jversion{value: val, ver: wv}
 		nv.next.Store(v.head.Load())
 		v.head.Store(nv)
@@ -281,7 +301,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if prof != nil {
 		prof.AddCommit(prof.Now() - t0)
 	}
-	tm.stats.RecordCommit(false)
+	tx.stats.RecordCommit(false)
 	tm.maybeGC()
 	return true
 }
@@ -376,6 +396,14 @@ func (tm *TM) History(v stm.Var) []stm.VersionRecord {
 	defer tv.histMu.Unlock()
 	out := make([]stm.VersionRecord, len(tv.hist))
 	copy(out, tv.hist)
-	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	slices.SortFunc(out, func(a, b stm.VersionRecord) int {
+		switch {
+		case a.Serial < b.Serial:
+			return -1
+		case a.Serial > b.Serial:
+			return 1
+		}
+		return 0
+	})
 	return out
 }

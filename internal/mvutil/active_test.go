@@ -15,22 +15,41 @@ func TestMinStartEmpty(t *testing.T) {
 
 func TestRegisterUnregister(t *testing.T) {
 	a := NewActiveSet()
-	s1 := a.Register(10)
-	s2 := a.Register(5)
-	s3 := a.Register(20)
+	var s1, s2, s3 Slot
+	a.Register(&s1, 10)
+	a.Register(&s2, 5)
+	a.Register(&s3, 20)
 	if got := a.MinStart(100); got != 5 {
 		t.Fatalf("min = %d, want 5", got)
 	}
-	a.Unregister(s2)
+	a.Unregister(&s2)
 	if got := a.MinStart(100); got != 10 {
 		t.Fatalf("min = %d, want 10", got)
 	}
-	a.Unregister(s1)
-	a.Unregister(s3)
+	a.Unregister(&s1)
+	a.Unregister(&s3)
 	if got := a.MinStart(7); got != 7 {
 		t.Fatalf("min = %d, want fallback 7", got)
 	}
-	a.Unregister(nil) // must be safe
+	a.Unregister(new(Slot)) // never registered: must be a safe no-op
+}
+
+func TestSlotReuse(t *testing.T) {
+	// A pooled slot is registered and unregistered many times; its home shard
+	// is sticky and each registration's start must be visible exactly while
+	// registered.
+	a := NewActiveSet()
+	var s Slot
+	for i := uint64(1); i <= 50; i++ {
+		a.Register(&s, i)
+		if got := a.MinStart(1 << 40); got != i {
+			t.Fatalf("round %d: min = %d", i, got)
+		}
+		a.Unregister(&s)
+		if got := a.MinStart(1 << 40); got != 1<<40 {
+			t.Fatalf("round %d: slot leaked, min = %d", i, got)
+		}
+	}
 }
 
 func TestMinStartNeverAboveLiveMinimum(t *testing.T) {
@@ -40,7 +59,8 @@ func TestMinStartNeverAboveLiveMinimum(t *testing.T) {
 		a := NewActiveSet()
 		slots := make([]*Slot, len(starts))
 		for i, s := range starts {
-			slots[i] = a.Register(uint64(s))
+			slots[i] = new(Slot)
+			a.Register(slots[i], uint64(s))
 		}
 		live := make([]uint64, 0, len(starts))
 		for i, s := range starts {
@@ -71,10 +91,11 @@ func TestConcurrentRegistration(t *testing.T) {
 		wg.Add(1)
 		go func(base uint64) {
 			defer wg.Done()
+			var s Slot // reused across iterations, as pooled engines do
 			for i := 0; i < 200; i++ {
-				s := a.Register(base + uint64(i))
+				a.Register(&s, base+uint64(i))
 				_ = a.MinStart(1 << 40)
-				a.Unregister(s)
+				a.Unregister(&s)
 			}
 		}(uint64(g) * 1000)
 	}

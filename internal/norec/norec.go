@@ -12,6 +12,7 @@ package norec
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/stm"
@@ -25,12 +26,19 @@ type TM struct {
 	stats stm.Stats
 	prof  atomic.Pointer[stm.Profiler]
 
+	// txns pools transaction descriptors across attempts; see Recycle.
+	txns sync.Pool
+
 	varID   atomic.Uint64
 	history atomic.Bool
 }
 
 // New returns a NOrec instance.
-func New() *TM { return &TM{} }
+func New() *TM {
+	tm := &TM{}
+	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
+	return tm
+}
 
 // Name implements stm.TM.
 func (tm *TM) Name() string { return "norec" }
@@ -63,15 +71,16 @@ type readEntry struct {
 	val stm.Value
 }
 
-// txn is a NOrec transaction.
+// txn is a NOrec transaction. Descriptors are pooled (see Recycle); the
+// read- and write-set backing arrays survive reuse.
 type txn struct {
 	tm       *TM
+	stats    *stm.StatShard // striped counters; assigned once per descriptor
 	readOnly bool
 	snapshot uint64
 
-	readSet   []readEntry
-	writeSet  map[*nvar]stm.Value
-	writeVars []*nvar
+	readSet  []readEntry
+	writeSet stm.WriteSet[*nvar]
 }
 
 // ReadOnly implements stm.Tx.
@@ -79,12 +88,27 @@ func (tx *txn) ReadOnly() bool { return tx.readOnly }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
-	tm.stats.RecordStart()
-	tx := &txn{tm: tm, readOnly: readOnly, snapshot: tm.waitEven()}
-	if !readOnly {
-		tx.writeSet = make(map[*nvar]stm.Value, 8)
-	}
+	tx := tm.txns.Get().(*txn)
+	tx.readOnly = readOnly
+	tx.snapshot = tm.waitEven()
+	tx.stats.RecordStart()
 	return tx
+}
+
+// Recycle implements stm.TxRecycler: reset the descriptor and return it to
+// the pool. Only stm.Atomically calls this, after an attempt has fully
+// finished; manual Begin/Commit users never recycle. readSet entries hold
+// interface values, so the reset clears them through capacity to avoid
+// keeping dead objects alive from the pool.
+func (tm *TM) Recycle(txi stm.Tx) {
+	tx, ok := txi.(*txn)
+	if !ok {
+		return
+	}
+	tx.readSet = stm.ResetVarSlice(tx.readSet)
+	tx.writeSet.Reset()
+	tx.snapshot = 0
+	tm.txns.Put(tx)
 }
 
 // waitEven spins until the sequence lock is free and returns its value.
@@ -109,7 +133,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 		t0 = prof.Now()
 	}
 	if !tx.readOnly {
-		if val, ok := tx.writeSet[tv]; ok {
+		if val, ok := tx.writeSet.Get(tv); ok {
 			if prof != nil {
 				prof.AddRead(prof.Now() - t0)
 			}
@@ -165,11 +189,7 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	if tx.readOnly {
 		panic("norec: Write on a read-only transaction")
 	}
-	tv := v.(*nvar)
-	if _, ok := tx.writeSet[tv]; !ok {
-		tx.writeVars = append(tx.writeVars, tv)
-	}
-	tx.writeSet[tv] = val
+	tx.writeSet.Put(v.(*nvar), val)
 }
 
 // Abort implements stm.TM. NOrec transactions hold no resources mid-flight.
@@ -178,10 +198,10 @@ func (tm *TM) Abort(stm.Tx) {}
 // Commit implements stm.TM.
 func (tm *TM) Commit(txi stm.Tx) bool {
 	tx := txi.(*txn)
-	if tx.readOnly || len(tx.writeSet) == 0 {
+	if tx.readOnly || tx.writeSet.Len() == 0 {
 		// Reads were kept individually consistent with the snapshot, which
 		// is a committed memory state: nothing to validate.
-		tm.stats.RecordCommit(tx.readOnly)
+		tx.stats.RecordCommit(tx.readOnly)
 		return true
 	}
 	prof := tm.prof.Load()
@@ -195,7 +215,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// means the clock moved, requiring value-based revalidation first.
 	for !tm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		if ok := tx.commitRevalidate(prof); !ok {
-			tm.stats.RecordAbort(stm.ReasonReadConflict)
+			tx.stats.RecordAbort(stm.ReasonReadConflict)
 			return false
 		}
 	}
@@ -204,8 +224,9 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		prof.AddCommit(now - t0)
 		t0 = now
 	}
-	for _, v := range tx.writeVars {
-		val := tx.writeSet[v]
+	ents := tx.writeSet.Entries()
+	for i := range ents {
+		v, val := ents[i].Key, ents[i].Val
 		v.val.Store(&val)
 		if tm.history.Load() {
 			v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: tx.snapshot + 2})
@@ -215,7 +236,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if prof != nil {
 		prof.AddCommit(prof.Now() - t0)
 	}
-	tm.stats.RecordCommit(false)
+	tx.stats.RecordCommit(false)
 	return true
 }
 

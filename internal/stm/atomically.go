@@ -76,6 +76,23 @@ func Retry(reason AbortReason) {
 	panic(retrySignal{reason: reason})
 }
 
+// TxRecycler is implemented by engines that pool transaction descriptors.
+// Atomically calls Recycle exactly once per attempt, after the attempt has
+// fully finished (committed, failed validation, aborted on a retry signal, or
+// returned a user error) and the Tx can never be observed again. Recycle
+// resets the descriptor — including the backing arrays of its read and write
+// sets — and returns it to the engine's pool, so the next Begin (often the
+// immediate retry of the same transaction) reuses the memory instead of
+// re-allocating it.
+//
+// Contract for fn bodies run under Atomically against a pooling engine: the
+// Tx must not be retained or used after the body returns. Code that needs to
+// inspect a transaction after commit (e.g. core's CommitOrders) must drive
+// the engine through the manual Begin/Commit API, which never recycles.
+type TxRecycler interface {
+	Recycle(tx Tx)
+}
+
 // Atomically executes fn as a transaction of tm, retrying until it commits.
 //
 // fn may be executed several times; it must be idempotent apart from its
@@ -83,10 +100,14 @@ func Retry(reason AbortReason) {
 // transaction without retrying and returns that error (user-level abort).
 // Panics other than retry signals propagate after the engine cleans up.
 func Atomically(tm TM, readOnly bool, fn func(Tx) error) error {
+	rec, _ := tm.(TxRecycler)
 	var bo Backoff
 	for {
 		tx := tm.Begin(readOnly)
 		err, retry := runOnce(tm, tx, fn)
+		if rec != nil {
+			rec.Recycle(tx)
+		}
 		if !retry {
 			return err
 		}

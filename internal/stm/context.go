@@ -12,6 +12,7 @@ import "context"
 // Use it for request-scoped work where livelock under pathological
 // contention must be bounded by a deadline rather than by backoff alone.
 func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error) error {
+	rec, _ := tm.(TxRecycler)
 	var bo Backoff
 	for {
 		if err := ctx.Err(); err != nil {
@@ -19,6 +20,9 @@ func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error)
 		}
 		tx := tm.Begin(readOnly)
 		err, retry := runOnce(tm, tx, fn)
+		if rec != nil {
+			rec.Recycle(tx)
+		}
 		if !retry {
 			return err
 		}

@@ -1,0 +1,170 @@
+package stm
+
+import "slices"
+
+// This file implements the shared write-set representation used by every
+// engine's transaction descriptor. The paper's overhead argument (§5.2) is
+// that TWM stays competitive because its per-transaction fixed costs are
+// small; a Go map allocated on every attempt is not small — it costs several
+// allocations at Begin and one hash per barrier. Write sets are almost always
+// tiny (a handful of entries for the SkipList and STAMP workloads), so the
+// representation below keeps them in an insertion-ordered slice probed
+// linearly, spilling to a map index only past wsSpillThreshold entries.
+//
+// The backing array survives transaction reuse (see TxRecycler): Reset keeps
+// capacity, so a retried or pooled transaction re-fills memory it already
+// owns instead of re-allocating.
+
+const (
+	// wsSpillThreshold is the write-set size above which a map index is built.
+	// Linear probes beat map hashing comfortably below it (pointer compares on
+	// a contiguous array), and the paper's workloads essentially never exceed
+	// it (8-write transactions are already on the large side).
+	wsSpillThreshold = 32
+	// wsSmallSort is the size at or below which SortEntriesByID uses a simple
+	// insertion sort instead of slices.SortFunc.
+	wsSmallSort = 16
+	// wsMaxRetain caps the backing-array capacity kept across Reset; a
+	// pathological transaction should not pin its peak footprint in a pool
+	// forever.
+	wsMaxRetain = 4096
+)
+
+// WSEntry is one buffered write: an engine variable handle and the pending
+// value. Entries preserve insertion order until SortEntriesByID.
+type WSEntry[K comparable] struct {
+	Key K
+	Val Value
+}
+
+// WriteSet is an insertion-ordered write buffer keyed by an engine's variable
+// handle. The zero value is ready to use. It is not safe for concurrent use
+// (a Tx belongs to one goroutine).
+type WriteSet[K comparable] struct {
+	entries []WSEntry[K]
+	// spill maps Key to its index in entries once the set outgrows linear
+	// probing. It is nil below the threshold and is invalidated by sorting
+	// entries, which is only legal once lookups are over (at commit).
+	spill map[K]int
+}
+
+// Len returns the number of distinct buffered writes.
+func (ws *WriteSet[K]) Len() int { return len(ws.entries) }
+
+// Get returns the buffered value for k, if any (the read-after-write path).
+func (ws *WriteSet[K]) Get(k K) (Value, bool) {
+	if ws.spill != nil {
+		if i, ok := ws.spill[k]; ok {
+			return ws.entries[i].Val, true
+		}
+		return nil, false
+	}
+	for i := range ws.entries {
+		if ws.entries[i].Key == k {
+			return ws.entries[i].Val, true
+		}
+	}
+	return nil, false
+}
+
+// Put buffers val for k, overwriting any previous write to k.
+func (ws *WriteSet[K]) Put(k K, val Value) {
+	if ws.spill != nil {
+		if i, ok := ws.spill[k]; ok {
+			ws.entries[i].Val = val
+			return
+		}
+		ws.spill[k] = len(ws.entries)
+		ws.entries = append(ws.entries, WSEntry[K]{Key: k, Val: val})
+		return
+	}
+	for i := range ws.entries {
+		if ws.entries[i].Key == k {
+			ws.entries[i].Val = val
+			return
+		}
+	}
+	ws.entries = append(ws.entries, WSEntry[K]{Key: k, Val: val})
+	if len(ws.entries) > wsSpillThreshold {
+		ws.spill = make(map[K]int, 2*len(ws.entries))
+		for i := range ws.entries {
+			ws.spill[ws.entries[i].Key] = i
+		}
+	}
+}
+
+// Entries exposes the underlying buffer for commit-time iteration (and
+// sorting). The slice aliases the write set; it is valid until the next Put
+// or Reset.
+func (ws *WriteSet[K]) Entries() []WSEntry[K] { return ws.entries }
+
+// Reset empties the set for reuse. The entry backing array is kept (up to
+// wsMaxRetain capacity) but zeroed, so stale variable handles and values do
+// not leak through the transaction pool and keep dead objects reachable. The
+// spill map is dropped rather than cleared: Go maps never shrink, large write
+// sets are rare, and rebuilding a small map on the next spill is cheaper than
+// pinning a big one in the pool.
+func (ws *WriteSet[K]) Reset() {
+	if cap(ws.entries) > wsMaxRetain {
+		ws.entries = nil
+	} else {
+		full := ws.entries[:cap(ws.entries)]
+		clear(full)
+		ws.entries = ws.entries[:0]
+	}
+	ws.spill = nil
+}
+
+// IDedVar is a variable handle with a stable, per-TM-unique numeric id; the
+// lock-based engines acquire commit locks in id order for deadlock avoidance.
+type IDedVar interface {
+	comparable
+	VarID() uint64
+}
+
+// SortEntriesByID orders entries by ascending variable id in place. Small
+// sets — the overwhelmingly common case — use insertion sort; larger ones use
+// slices.SortFunc. Neither path allocates (the comparison closure captures
+// nothing), unlike the sort.Slice interface path this replaces.
+//
+// Sorting invalidates a spilled index, so it must only be called once lookups
+// are over: at commit, after the last Get/Put.
+func SortEntriesByID[K IDedVar](ents []WSEntry[K]) {
+	if len(ents) <= wsSmallSort {
+		for i := 1; i < len(ents); i++ {
+			e := ents[i]
+			id := e.Key.VarID()
+			j := i - 1
+			for j >= 0 && ents[j].Key.VarID() > id {
+				ents[j+1] = ents[j]
+				j--
+			}
+			ents[j+1] = e
+		}
+		return
+	}
+	slices.SortFunc(ents, func(a, b WSEntry[K]) int {
+		ai, bi := a.Key.VarID(), b.Key.VarID()
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	})
+}
+
+// ResetVarSlice clears s through its full capacity and returns it with length
+// zero, retaining the backing array (up to wsMaxRetain) for reuse. Engines
+// use it on read sets, lock lists and other per-transaction slices whose
+// stale tails would otherwise keep variables reachable from a pooled
+// transaction.
+func ResetVarSlice[T any](s []T) []T {
+	if cap(s) > wsMaxRetain {
+		return nil
+	}
+	full := s[:cap(s)]
+	clear(full)
+	return s[:0]
+}

@@ -15,7 +15,7 @@ package tl2
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +37,9 @@ type TM struct {
 	stats stm.Stats
 	prof  atomic.Pointer[stm.Profiler]
 
+	// txns pools transaction descriptors across attempts; see Recycle.
+	txns sync.Pool
+
 	varID   atomic.Uint64
 	history atomic.Bool
 }
@@ -48,6 +51,7 @@ func New(opts Options) *TM {
 	}
 	tm := &TM{opts: opts}
 	tm.clock.Store(1)
+	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
 	return tm
 }
 
@@ -72,6 +76,9 @@ type tlvar struct {
 	hist   []stm.VersionRecord
 }
 
+// VarID implements stm.IDedVar (commit-lock ordering).
+func (v *tlvar) VarID() uint64 { return v.id }
+
 const lockBit = 1
 
 func metaVersion(m uint64) uint64 { return m >> 1 }
@@ -84,16 +91,17 @@ func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	return v
 }
 
-// txn is a TL2 transaction.
+// txn is a TL2 transaction. Descriptors are pooled (see Recycle); the slices
+// keep their backing arrays across reuse.
 type txn struct {
 	tm       *TM
+	stats    *stm.StatShard // striped counters; assigned once per descriptor
 	readOnly bool
 	rv       uint64
 
-	readSet   []*tlvar
-	writeSet  map[*tlvar]stm.Value
-	writeVars []*tlvar
-	locked    []*tlvar
+	readSet  []*tlvar
+	writeSet stm.WriteSet[*tlvar]
+	locked   []*tlvar
 }
 
 // ReadOnly implements stm.Tx.
@@ -101,12 +109,26 @@ func (tx *txn) ReadOnly() bool { return tx.readOnly }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
-	tm.stats.RecordStart()
-	tx := &txn{tm: tm, readOnly: readOnly, rv: tm.clock.Load()}
-	if !readOnly {
-		tx.writeSet = make(map[*tlvar]stm.Value, 8)
-	}
+	tx := tm.txns.Get().(*txn)
+	tx.readOnly = readOnly
+	tx.rv = tm.clock.Load()
+	tx.stats.RecordStart()
 	return tx
+}
+
+// Recycle implements stm.TxRecycler: reset the descriptor and return it to
+// the pool. Only stm.Atomically calls this, after an attempt has fully
+// finished; manual Begin/Commit users never recycle.
+func (tm *TM) Recycle(txi stm.Tx) {
+	tx, ok := txi.(*txn)
+	if !ok {
+		return
+	}
+	tx.readSet = stm.ResetVarSlice(tx.readSet)
+	tx.writeSet.Reset()
+	tx.locked = stm.ResetVarSlice(tx.locked)
+	tx.rv = 0
+	tm.txns.Put(tx)
 }
 
 // Read implements stm.Tx: the TL2 read barrier with the pre/post sandwich.
@@ -118,7 +140,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 		t0 = prof.Now()
 	}
 	if !tx.readOnly {
-		if val, ok := tx.writeSet[tv]; ok {
+		if val, ok := tx.writeSet.Get(tv); ok {
 			if prof != nil {
 				prof.AddRead(prof.Now() - t0)
 			}
@@ -133,7 +155,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 				if metaVersion(m1) > tx.rv {
 					// The variable changed after our snapshot: classic
 					// validation admits no extension, abort.
-					tx.tm.stats.RecordAbort(stm.ReasonReadConflict)
+					tx.stats.RecordAbort(stm.ReasonReadConflict)
 					stm.Retry(stm.ReasonReadConflict)
 				}
 				if !tx.readOnly {
@@ -146,7 +168,7 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 			}
 		}
 		if spins >= tx.tm.opts.LockSpinBudget {
-			tx.tm.stats.RecordAbort(stm.ReasonLockTimeout)
+			tx.stats.RecordAbort(stm.ReasonLockTimeout)
 			stm.Retry(stm.ReasonLockTimeout)
 		}
 		runtime.Gosched()
@@ -158,11 +180,7 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	if tx.readOnly {
 		panic("tl2: Write on a read-only transaction")
 	}
-	tv := v.(*tlvar)
-	if _, ok := tx.writeSet[tv]; !ok {
-		tx.writeVars = append(tx.writeVars, tv)
-	}
-	tx.writeSet[tv] = val
+	tx.writeSet.Put(v.(*tlvar), val)
 }
 
 // Abort implements stm.TM.
@@ -203,8 +221,8 @@ func (tx *txn) lockVar(tv *tlvar) bool {
 // Commit implements stm.TM.
 func (tm *TM) Commit(txi stm.Tx) bool {
 	tx := txi.(*txn)
-	if tx.readOnly || len(tx.writeSet) == 0 {
-		tm.stats.RecordCommit(tx.readOnly)
+	if tx.readOnly || tx.writeSet.Len() == 0 {
+		tx.stats.RecordCommit(tx.readOnly)
 		return true
 	}
 	prof := tm.prof.Load()
@@ -214,11 +232,14 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		defer prof.AddTx()
 	}
 
-	sort.Slice(tx.writeVars, func(i, j int) bool { return tx.writeVars[i].id < tx.writeVars[j].id })
-	for _, v := range tx.writeVars {
-		if !tx.lockVar(v) {
+	// Lookups are over: sort the write entries in place by id (deadlock
+	// avoidance) without sort.Slice's closure allocations.
+	ents := tx.writeSet.Entries()
+	stm.SortEntriesByID(ents)
+	for i := range ents {
+		if !tx.lockVar(ents[i].Key) {
 			tx.releaseLocks()
-			tm.stats.RecordAbort(stm.ReasonWriteConflict)
+			tx.stats.RecordAbort(stm.ReasonWriteConflict)
 			return false
 		}
 	}
@@ -238,7 +259,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 			m := v.meta.Load()
 			if metaVersion(m) > tx.rv || (metaLocked(m) && !tx.holds(v)) {
 				tx.releaseLocks()
-				tm.stats.RecordAbort(stm.ReasonReadConflict)
+				tx.stats.RecordAbort(stm.ReasonReadConflict)
 				if prof != nil {
 					prof.AddReadSetVal(prof.Now() - t0)
 				}
@@ -252,8 +273,8 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		t0 = now
 	}
 
-	for _, v := range tx.writeVars {
-		val := tx.writeSet[v]
+	for i := range ents {
+		v, val := ents[i].Key, ents[i].Val
 		v.val.Store(&val)
 		if tm.history.Load() {
 			v.histMu.Lock()
@@ -266,7 +287,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if prof != nil {
 		prof.AddCommit(prof.Now() - t0)
 	}
-	tm.stats.RecordCommit(false)
+	tx.stats.RecordCommit(false)
 	return true
 }
 
@@ -290,6 +311,14 @@ func (tm *TM) History(v stm.Var) []stm.VersionRecord {
 	defer tv.histMu.Unlock()
 	out := make([]stm.VersionRecord, len(tv.hist))
 	copy(out, tv.hist)
-	sort.Slice(out, func(i, j int) bool { return out[i].Serial < out[j].Serial })
+	slices.SortFunc(out, func(a, b stm.VersionRecord) int {
+		switch {
+		case a.Serial < b.Serial:
+			return -1
+		case a.Serial > b.Serial:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
