@@ -1,0 +1,237 @@
+// Command twm-lint statically enforces the repository's transactional
+// usage discipline (DESIGN.md §9) with four analyzers: txescape, txpurity,
+// rodiscipline and atomichygiene.
+//
+// It runs two ways:
+//
+//	twm-lint ./...                       # standalone; drives go vet under the hood
+//	go vet -vettool=$(which twm-lint) ./...  # as a vet tool (what CI does)
+//
+// Both modes analyze test files and package variants exactly like go vet.
+// A third mode, twm-lint -mode=source [dirs], type-checks from source
+// without invoking the go command at all (no build cache needed); it skips
+// _test.go files and is mainly useful for quick iteration on the analyzers
+// themselves.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// The go vet handshake probes the tool before handing it work: -V=full
+	// must print an identifying version line (cached as part of the build
+	// key), -flags must describe the tool's flags as JSON.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	// A single .cfg argument means cmd/go is driving us over one package
+	// unit (the unitchecker protocol).
+	if args := os.Args[1:]; len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return framework.VetUnit(analysis.All(), args[0], os.Stderr)
+	}
+
+	fs := flag.NewFlagSet("twm-lint", flag.ExitOnError)
+	mode := fs.String("mode", "vet", "how to load packages: vet (drive go vet, includes tests) or source (typecheck from source, no tests)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: twm-lint [-mode=vet|source] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	switch *mode {
+	case "vet":
+		return runVet(patterns)
+	case "source":
+		return runSource(patterns)
+	default:
+		fmt.Fprintf(os.Stderr, "twm-lint: unknown -mode %q\n", *mode)
+		return 1
+	}
+}
+
+// printVersion emits the version line the go command uses to fingerprint
+// vet tools; hashing the executable makes rebuilds invalidate vet caches.
+func printVersion() {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("twm-lint version devel buildID=%x\n", h.Sum(nil)[:12])
+}
+
+// runVet re-invokes this binary through `go vet -vettool`, which loads
+// packages (tests included) and calls back into the .cfg branch above.
+func runVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twm-lint: locating own executable: %v\n", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "twm-lint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSource loads packages from source (non-test files) and analyzes them
+// in-process.
+func runSource(patterns []string) int {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twm-lint: %v\n", err)
+		return 1
+	}
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twm-lint: %v\n", err)
+		return 1
+	}
+	loader := framework.NewLoader(modRoot, modPath)
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir, "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twm-lint: %v\n", err)
+			exit = 1
+			continue
+		}
+		diags, err := pkg.Run(analysis.All(), loader.Fset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twm-lint: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module directive in %s/go.mod", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// expandPatterns resolves go-style package patterns ("./...", "dir",
+// "dir/...") to the set of directories containing non-test Go files,
+// skipping testdata and hidden directories.
+func expandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			root := rest
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(p)
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -91,10 +91,16 @@ func main() {
 	snap := tm.Stats().Snapshot()
 	fmt.Printf("commits: %d (read-only %d), restarts: %d, abort rate: %.1f%%\n",
 		snap.Commits, snap.ROCommits, snap.Aborts, snap.AbortRate()*100)
-	for i, a := range accs {
-		_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
-			fmt.Printf("  account %d: %d\n", i, a.Get(tx))
-			return nil
-		})
+	// Snapshot every balance in one read-only transaction, then print outside
+	// it: bodies re-execute on abort, so printing inside would duplicate lines.
+	balances := make([]int, len(accs))
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		for i, a := range accs {
+			balances[i] = a.Get(tx)
+		}
+		return nil
+	})
+	for i, b := range balances {
+		fmt.Printf("  account %d: %d\n", i, b)
 	}
 }

@@ -105,27 +105,37 @@ func main() {
 	wg.Wait()
 
 	// Audit: revenue must equal the sum over rooms of booked*price, and no
-	// room may be overbooked.
+	// room may be overbooked. The body only snapshots — bodies re-execute on
+	// abort, so it resets its accumulators each attempt and all reporting
+	// (printing, log.Fatalf) happens after the transaction commits.
+	var (
+		want, got    int
+		rooms, taken int
+		overbooked   []string
+	)
 	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
-		want := 0
-		rooms, taken := 0, 0
+		want, rooms, taken = 0, 0, 0
+		overbooked = overbooked[:0]
 		inventory.ForEach(tx, func(id int64, v stm.Value) bool {
 			room := v.(Room)
 			if room.Booked > room.Capacity {
-				log.Fatalf("hotel %d overbooked: %+v", id, room)
+				overbooked = append(overbooked, fmt.Sprintf("hotel %d overbooked: %+v", id, room))
 			}
 			want += room.Booked * room.Price
 			rooms += room.Capacity
 			taken += room.Booked
 			return true
 		})
-		got := revenue.Get(tx)
-		fmt.Printf("rooms booked: %d / %d capacity\n", taken, rooms)
-		fmt.Printf("revenue: %d (audit says %d) — %s\n", got, want, check(got == want))
+		got = revenue.Get(tx)
 		return nil
 	}); err != nil {
 		log.Fatal(err)
 	}
+	for _, msg := range overbooked {
+		log.Fatal(msg)
+	}
+	fmt.Printf("rooms booked: %d / %d capacity\n", taken, rooms)
+	fmt.Printf("revenue: %d (audit says %d) — %s\n", got, want, check(got == want))
 
 	snap := tm.Stats().Snapshot()
 	fmt.Printf("transactions: %d committed, %d restarted (%.1f%% abort rate)\n",

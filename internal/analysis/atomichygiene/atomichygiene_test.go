@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atomichygiene"
+	"repro/internal/analysis/framework/checktest"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	checktest.Run(t, "hygiene", atomichygiene.Analyzer)
+}

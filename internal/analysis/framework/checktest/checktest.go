@@ -1,0 +1,174 @@
+// Package checktest is the golden-file test harness for twm-lint
+// analyzers, equivalent in spirit to x/tools' analysistest: a testdata
+// package is type-checked from source, the analyzer runs over it, and the
+// diagnostics are matched line-by-line against `// want "regexp"`
+// expectation comments in the testdata itself.
+//
+// Expectation syntax (a subset of analysistest's):
+//
+//	x = tx            // want `escapes`
+//	fmt.Println(x)    // want "calls fmt" "second diagnostic on this line"
+//
+// Each quoted string is an anchored-nowhere regular expression that must
+// match the message of exactly one diagnostic reported on that line;
+// diagnostics and expectations must cover each other exactly.
+package checktest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// Run loads the package in testdata/src/<pkgname> (relative to the test's
+// working directory, i.e. the analyzer's package directory) and checks the
+// analyzer's diagnostics against the `// want` expectations.
+func Run(t *testing.T, pkgname string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgname)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	loader := framework.NewLoader(modRoot, modPath)
+	pkg, err := loader.LoadDir(dir, "")
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+	diags, err := pkg.Run(analyzers, loader.Fset)
+	if err != nil {
+		t.Fatalf("checktest: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Gather expectations from the testdata comments.
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the quoted patterns from a `// want "..." `...`  `
+// comment; ok is false if the comment is not an expectation.
+func parseWant(text string) (patterns []string, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !found {
+		return nil, false
+	}
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var quote byte = rest[0]
+		if quote != '"' && quote != '`' {
+			return patterns, len(patterns) > 0
+		}
+		if quote == '`' {
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return patterns, len(patterns) > 0
+			}
+			patterns = append(patterns, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+			continue
+		}
+		// Double-quoted: respect escapes via strconv.
+		prefix, err := quotedPrefix(rest)
+		if err != nil {
+			return patterns, len(patterns) > 0
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return patterns, len(patterns) > 0
+		}
+		patterns = append(patterns, unq)
+		rest = strings.TrimSpace(rest[len(prefix):])
+	}
+	return patterns, len(patterns) > 0
+}
+
+// quotedPrefix returns the leading double-quoted Go string literal of s.
+func quotedPrefix(s string) (string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return s[:i+1], nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string in want comment: %s", s)
+}
+
+// findModule locates the enclosing module from the test's working
+// directory.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module directive in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

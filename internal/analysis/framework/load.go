@@ -1,0 +1,148 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages of one module from source, resolving module
+// imports from the module tree and everything else (the standard library)
+// through the compiler's source importer. It needs no network, no export
+// data and no `go` invocation, which makes it usable from unit tests (the
+// checktest harness) and from twm-lint's -mode=source path.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute path of the module root directory
+	ModPath string // module path from go.mod (e.g. "repro")
+
+	std  types.ImporterFrom          // source importer for non-module paths
+	deps map[string]*types.Package   // memoized module dependencies
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: modRoot,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		deps:    make(map[string]*types.Package),
+	}
+}
+
+// dirFor maps a module import path to its directory, or "" if the path does
+// not belong to the module.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer: module packages come from source under
+// ModRoot, everything else is delegated to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		if pkg, ok := l.deps[path]; ok {
+			return pkg, nil
+		}
+		files, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		pkg, err := conf.Check(path, l.Fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		l.deps[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the buildable non-test Go files of dir (honoring build
+// constraints for the host platform), with comments attached.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("resolving %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadedPackage is one fully type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// LoadDir type-checks the package in dir (non-test files only) with full
+// type information. importPath may be "" to derive it from the module
+// layout; directories outside the module (e.g. testdata trees) get a
+// synthetic path.
+func (l *Loader) LoadDir(dir, importPath string) (*LoadedPackage, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		if rel, err := filepath.Rel(l.ModRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		} else {
+			importPath = "testdata/" + filepath.Base(abs)
+		}
+	}
+	files, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	info := NewInfo()
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    sizes,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, typeErrs[0])
+	}
+	return &LoadedPackage{Path: importPath, Dir: abs, Files: files, Pkg: pkg, Info: info, Sizes: sizes}, nil
+}
+
+// Run applies the analyzers to a loaded package.
+func (p *LoadedPackage) Run(analyzers []*Analyzer, fset *token.FileSet) ([]Diagnostic, error) {
+	return RunAnalyzers(analyzers, fset, p.Files, p.Pkg, p.Info, p.Sizes)
+}

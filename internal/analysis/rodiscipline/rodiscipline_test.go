@@ -1,0 +1,12 @@
+package rodiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/checktest"
+	"repro/internal/analysis/rodiscipline"
+)
+
+func TestRODiscipline(t *testing.T) {
+	checktest.Run(t, "rodisc", rodiscipline.Analyzer)
+}

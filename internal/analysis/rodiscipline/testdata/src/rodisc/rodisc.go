@@ -1,0 +1,43 @@
+// Package rodisc is twm-lint golden-test input: write-side operations that
+// must be unreachable from transaction bodies started with readOnly=true.
+package rodisc
+
+import "repro/internal/stm"
+
+func positives(tm stm.TM, x *stm.TVar[int]) {
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		x.Set(tx, 1)              // want `TVar.Set .a Tx.Write. inside a transaction body started with readOnly=true`
+		tx.Write(x.Raw(), 2)      // want `Tx.Write inside a transaction body`
+		stm.Retry(stm.ReasonUser) // want `stm.Retry inside a transaction body`
+		bump(tx, x)               // want `call to bump, which reaches TVar.Set`
+		chain(tx, x)              // want `call to chain, which reaches`
+		return nil
+	})
+}
+
+func bump(tx stm.Tx, x *stm.TVar[int]) { x.Set(tx, 9) }
+
+func chain(tx stm.Tx, x *stm.TVar[int]) { bump(tx, x) }
+
+func negatives(tm stm.TM, x *stm.TVar[int]) {
+	// Reads and read-only helpers are the whole point of readOnly=true.
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		_ = x.Get(tx)
+		observe(tx, x)
+		return nil
+	})
+	// Update transactions may write freely.
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		x.Set(tx, 3)
+		bump(tx, x)
+		return nil
+	})
+	// A non-constant readOnly argument cannot be checked statically.
+	ro := true
+	_ = stm.Atomically(tm, ro, func(tx stm.Tx) error {
+		x.Set(tx, 4)
+		return nil
+	})
+}
+
+func observe(tx stm.Tx, x *stm.TVar[int]) { _ = x.Get(tx) }

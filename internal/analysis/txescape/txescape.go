@@ -1,0 +1,144 @@
+// Package txescape implements the twm-lint analyzer that keeps stm.Tx
+// values inside the transaction body that received them.
+//
+// A Tx is single-goroutine and dies at commit (internal/stm/stm.go); with
+// pooling engines the descriptor is recycled the moment Atomically's
+// attempt finishes, so a Tx that leaks past its closure aliases a future,
+// unrelated transaction. The analyzer flags, for the Tx parameter of every
+// transaction-body closure:
+//
+//   - capture by a goroutine spawned inside the body (`go` statement);
+//   - sending the Tx on a channel;
+//   - storing the Tx in a composite literal (struct, slice, map, array);
+//   - assigning the Tx to anything that outlives the body: a struct field
+//     or element (selector/index assignment), a package-level variable, or
+//     a variable captured from an enclosing function.
+//
+// Passing the Tx down to helper functions as an ordinary argument is the
+// intended instrumentation style and stays legal.
+package txescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/stmtypes"
+)
+
+// Analyzer is the txescape analysis.
+var Analyzer = &framework.Analyzer{
+	Name: "txescape",
+	Doc:  "report stm.Tx values escaping the transaction body that received them",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, body := range stmtypes.FindBodies(pass.TypesInfo, pass.Files) {
+		if body.TxParam == nil {
+			continue
+		}
+		checkBody(pass, body)
+	}
+	return nil
+}
+
+// usesTx reports whether the expression tree contains an identifier bound
+// to the body's Tx parameter.
+func usesTx(info *types.Info, tx types.Object, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == tx {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTxIdent reports whether e is (after unwrapping parens) exactly the Tx
+// parameter.
+func isTxIdent(info *types.Info, tx types.Object, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == tx
+}
+
+func checkBody(pass *framework.Pass, body stmtypes.Body) {
+	tx := body.TxParam
+	info := pass.TypesInfo
+
+	// Scope of the closure: assignment targets declared inside it are
+	// local aliases (fine); everything else outlives the attempt.
+	escapesClosure := func(obj types.Object) bool {
+		if obj == nil {
+			return true
+		}
+		if obj.Parent() == pass.Pkg.Scope() {
+			return true // package-level variable
+		}
+		return !(body.Lit.Body.Pos() <= obj.Pos() && obj.Pos() < body.Lit.Body.End()) &&
+			!(body.Lit.Type.Pos() <= obj.Pos() && obj.Pos() < body.Lit.Type.End())
+	}
+
+	ast.Inspect(body.Lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if usesTx(info, tx, n.Call) {
+				pass.Reportf(n.Pos(), "Tx captured by goroutine spawned inside transaction body: a Tx is single-goroutine and dies at commit")
+			}
+		case *ast.SendStmt:
+			if usesTx(info, tx, n.Value) {
+				pass.Reportf(n.Pos(), "Tx sent on a channel escapes the transaction body that received it")
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTxIdent(info, tx, v) {
+					pass.Reportf(v.Pos(), "Tx stored in a composite literal outlives the transaction body; pass the Tx as a plain argument instead")
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, body, n, escapesClosure)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *framework.Pass, body stmtypes.Body, n *ast.AssignStmt, escapesClosure func(types.Object) bool) {
+	info := pass.TypesInfo
+	tx := body.TxParam
+	for i, rhs := range n.Rhs {
+		if !isTxIdent(info, tx, rhs) {
+			continue
+		}
+		if i >= len(n.Lhs) {
+			break
+		}
+		switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			pass.Reportf(n.Pos(), "Tx assigned to a field escapes the transaction body; a recycled Tx aliases a future transaction")
+		case *ast.IndexExpr:
+			pass.Reportf(n.Pos(), "Tx stored in a slice/map element escapes the transaction body")
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			var obj types.Object
+			if n.Tok == token.DEFINE {
+				obj = info.Defs[lhs]
+			} else {
+				obj = info.Uses[lhs]
+			}
+			if n.Tok == token.DEFINE && obj != nil {
+				continue // fresh local alias inside the body
+			}
+			if escapesClosure(obj) {
+				pass.Reportf(n.Pos(), "Tx assigned to %s, which outlives the transaction body that received it", lhs.Name)
+			}
+		}
+	}
+}

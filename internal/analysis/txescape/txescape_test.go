@@ -1,0 +1,12 @@
+package txescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/checktest"
+	"repro/internal/analysis/txescape"
+)
+
+func TestTxEscape(t *testing.T) {
+	checktest.Run(t, "escape", txescape.Analyzer)
+}

@@ -20,11 +20,14 @@ func Example() {
 		return nil
 	})
 
-	// Read-only transactions never abort under TWM.
+	// Read-only transactions never abort under TWM. Capture inside the
+	// body, print after it commits.
+	var b int
 	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
-		fmt.Println("balance:", balance.Get(tx))
+		b = balance.Get(tx)
 		return nil
 	})
+	fmt.Println("balance:", b)
 	// Output: balance: 70
 }
 

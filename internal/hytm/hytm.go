@@ -117,6 +117,23 @@ func (tm *TM) releaseHW(t *hwTx) {
 // Inner returns the fallback engine.
 func (tm *TM) Inner() stm.TM { return tm.inner }
 
+// Name identifies the hybrid configuration by its fallback engine.
+func (tm *TM) Name() string { return "hytm(" + tm.inner.Name() + ")" }
+
+// EnableHistory turns on version recording on the inner engine. Every
+// attempt — hardware profile or fallback — commits through the inner
+// engine, so its history covers all hybrid commits in serialization order;
+// this makes the hybrid checkable by the dsg oracle. Panics if the inner
+// engine does not implement stm.HistoryRecording.
+func (tm *TM) EnableHistory() {
+	tm.inner.(stm.HistoryRecording).EnableHistory()
+}
+
+// History returns the committed versions of v recorded by the inner engine.
+func (tm *TM) History(v stm.Var) []stm.VersionRecord {
+	return tm.inner.(stm.HistoryRecording).History(v)
+}
+
 // HybridStats returns the live path counters.
 func (tm *TM) HybridStats() *Stats { return &tm.stats }
 

@@ -38,14 +38,14 @@ func inflightConsistency(t *testing.T, tm stm.TM) {
 				}
 				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
 					a := x.Get(tx)
-					runtime.Gosched() // widen the window between the reads
+					runtime.Gosched() //twm:impure widen the window between the reads
 					b := y.Get(tx)
-					mu.Lock()
+					mu.Lock() //twm:impure per-attempt probe counters, deliberately outside the STM
 					checks++
 					if a+b != pairSum {
 						violations++
 					}
-					mu.Unlock()
+					mu.Unlock() //twm:impure see above
 					junk.Set(tx, i)
 					return nil
 				})
