@@ -197,6 +197,7 @@ func summary(cfg bench.FigureConfig, scale string, emit emitFunc) error {
 		sum.Fig5iSpeedups(os.Stdout, ref)
 	}
 	sum.Table2(os.Stdout)
+	sum.ReasonHistogram(os.Stdout)
 	return nil
 }
 

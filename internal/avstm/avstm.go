@@ -138,10 +138,16 @@ type txn struct {
 
 	readSet  []*avar
 	writeSet stm.WriteSet[*avar]
+
+	lastReason stm.AbortReason // why the last Commit returned false
 }
 
 // ReadOnly implements stm.Tx.
 func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner: the reason of the most recent
+// commit-time abort (read-path aborts travel in the retry signal).
+func (tx *txn) LastAbortReason() stm.AbortReason { return tx.lastReason }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
@@ -166,6 +172,7 @@ func (tm *TM) Recycle(txi stm.Tx) {
 	}
 	tx.readSet = stm.ResetVarSlice(tx.readSet)
 	tx.writeSet.Reset()
+	tx.lastReason = stm.ReasonNone
 	tm.txns.Put(tx)
 }
 
@@ -300,6 +307,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		if !ok {
 			tx.deregister()
 			tx.stats.RecordAbort(stm.ReasonIntervalEmpty)
+			tx.lastReason = stm.ReasonIntervalEmpty
 			if prof != nil {
 				prof.AddReadSetVal(prof.Now() - t0)
 			}
@@ -343,6 +351,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		tm.commitMu.Unlock()
 		tx.deregister()
 		tx.stats.RecordAbort(stm.ReasonIntervalEmpty)
+		tx.lastReason = stm.ReasonIntervalEmpty
 		return false
 	}
 

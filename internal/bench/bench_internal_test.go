@@ -137,6 +137,47 @@ func TestSummaryAggregation(t *testing.T) {
 	}
 }
 
+func TestSummaryReasonHistogram(t *testing.T) {
+	var s Summary
+	mk := func(engine string, reasons map[stm.AbortReason]uint64) Result {
+		var st stm.Stats
+		st.RecordCommit(false)
+		for r, n := range reasons {
+			for i := uint64(0); i < n; i++ {
+				st.RecordAbort(r)
+			}
+		}
+		return Result{Engine: engine, Threads: 4, Elapsed: time.Millisecond, Stats: st.Snapshot()}
+	}
+	s.Add("appA", []Result{
+		mk("twm", map[stm.AbortReason]uint64{stm.ReasonTriad: 3, stm.ReasonReadConflict: 1}),
+		mk("tl2", map[stm.AbortReason]uint64{stm.ReasonWriteConflict: 8}),
+	})
+	s.Add("appB", []Result{
+		mk("twm", map[stm.AbortReason]uint64{stm.ReasonTriad: 1}),
+		mk("tl2", map[stm.AbortReason]uint64{stm.ReasonWriteConflict: 2}),
+	})
+
+	var buf bytes.Buffer
+	s.ReasonHistogram(&buf)
+	out := buf.String()
+	// twm: 4 triad of 5 aborts (80%), 1 read-conflict (20%);
+	// tl2: 10 write-conflict of 10 (100%). Counts aggregate across apps.
+	for _, want := range []string{"triad", "read-conflict", "write-conflict",
+		"4 (80%)", "1 (20%)", "10 (100%)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty Summary
+	buf.Reset()
+	empty.ReasonHistogram(&buf)
+	if !strings.Contains(buf.String(), "no aborts") {
+		t.Fatalf("empty summary output: %s", buf.String())
+	}
+}
+
 func TestMicroOpSignatureUsable(t *testing.T) {
 	// MicroOp receives a usable RNG stream.
 	var op MicroOp = func(id int, r *xrand.Rand) {

@@ -156,6 +156,56 @@ func (s *Summary) Table2(w io.Writer) {
 	right.Fprint(w)
 }
 
+// ReasonHistogram prints a per-engine histogram of retries by abort reason,
+// aggregated over every cell in the summary. Abort *rates* (Table 2) say how
+// often engines restart; the histogram says *why* — whether an engine's
+// aborts come from read validation, commit write conflicts, lock timeouts, or
+// TWM's triad rule — which is the observability the contention-management
+// policies key off (a reason-aware policy is only as good as this split is
+// truthful). Each cell shows the count and its share of the engine's aborts.
+func (s *Summary) ReasonHistogram(w io.Writer) {
+	// Union of reasons seen anywhere, sorted for stable columns.
+	reasonSet := map[string]bool{}
+	totals := map[string]map[string]uint64{} // engine -> reason -> count
+	aborts := map[string]uint64{}            // engine -> total aborts
+	for _, c := range s.Cells {
+		eng := totals[c.Engine]
+		if eng == nil {
+			eng = map[string]uint64{}
+			totals[c.Engine] = eng
+		}
+		for reason, n := range c.Stats.ByReason {
+			reasonSet[reason] = true
+			eng[reason] += n
+		}
+		aborts[c.Engine] += c.Stats.Aborts
+	}
+	reasons := make([]string, 0, len(reasonSet))
+	for r := range reasonSet {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	if len(reasons) == 0 {
+		fmt.Fprintln(w, "retry histogram: no aborts recorded")
+		return
+	}
+	tbl := NewTable("Retries by abort reason (count, share of engine's aborts)",
+		append([]string{"engine"}, reasons...)...)
+	for _, e := range s.engines() {
+		row := []string{e}
+		for _, r := range reasons {
+			n := totals[e][r]
+			if total := aborts[e]; total > 0 {
+				row = append(row, fmt.Sprintf("%d (%.0f%%)", n, 100*float64(n)/float64(total)))
+			} else {
+				row = append(row, "0")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Fprint(w)
+}
+
 func mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -112,3 +112,13 @@ func (t *yieldTx) Write(v stm.Var, val stm.Value) {
 }
 
 func (t *yieldTx) ReadOnly() bool { return t.inner.ReadOnly() }
+
+// LastAbortReason implements stm.AbortReasoner when the inner transaction
+// does, so the yield wrapper does not hide commit-failure reasons from the
+// retry loop.
+func (t *yieldTx) LastAbortReason() stm.AbortReason {
+	if ar, ok := t.inner.(stm.AbortReasoner); ok {
+		return ar.LastAbortReason()
+	}
+	return stm.ReasonNone
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package chaos_test
+
+// raceEnabled reports whether the race detector is active; the allocation
+// budgets only hold without it (the race runtime instruments sync.Pool and
+// adds bookkeeping allocations).
+const raceEnabled = false

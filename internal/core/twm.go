@@ -248,10 +248,17 @@ type txn struct {
 
 	locked []*twvar    // commit locks currently held (for failure cleanup)
 	slot   mvutil.Slot // active-set registration, reused across attempts
+
+	lastReason stm.AbortReason // why the last Commit returned false
 }
 
 // ReadOnly implements stm.Tx.
 func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner: the reason of the most recent
+// commit-time abort, so the retry loop can report it to the contention
+// manager (read-path aborts carry their reason in the retry signal instead).
+func (tx *txn) LastAbortReason() stm.AbortReason { return tx.lastReason }
 
 // Begin implements stm.TM. The returned transaction observes the snapshot
 // defined by the logical clock at this instant (S(tx)).
@@ -283,6 +290,7 @@ func (tm *TM) Recycle(txi stm.Tx) {
 	tx.locked = stm.ResetVarSlice(tx.locked)
 	tx.source, tx.target = false, false
 	tx.minAntiDep, tx.natOrder, tx.twOrder, tx.start = 0, 0, 0, 0
+	tx.lastReason = stm.ReasonNone
 	tm.txns.Put(tx)
 }
 
@@ -511,10 +519,12 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	return true
 }
 
-// failCommit records the abort, releases held locks and reports failure.
+// failCommit records the abort, releases held locks and reports failure. The
+// reason is kept on the descriptor for stm.AbortReasoner.
 func (tm *TM) failCommit(tx *txn, reason stm.AbortReason) bool {
 	tx.releaseLocks()
 	tx.stats.RecordAbort(reason)
+	tx.lastReason = reason
 	return false
 }
 

@@ -1,0 +1,127 @@
+package engines_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/engines"
+	"repro/internal/stm"
+)
+
+// ledgerPolicy observes the retry loop from the contention-manager seat:
+// every attempt and every abort reason the loop reports. Reconciling its
+// ledger against the engine's own Stats counters proves the two observability
+// channels agree — every engine-recorded abort reaches the policy with the
+// same classification, and no attempt is hidden from either side.
+type ledgerPolicy struct {
+	mu       sync.Mutex
+	attempts uint64
+	waits    uint64
+	byReason map[stm.AbortReason]uint64
+}
+
+func newLedgerPolicy() *ledgerPolicy {
+	return &ledgerPolicy{byReason: make(map[stm.AbortReason]uint64)}
+}
+
+func (p *ledgerPolicy) NewManager() stm.ContentionManager { return &ledgerCM{p: p} }
+
+type ledgerCM struct{ p *ledgerPolicy }
+
+func (m *ledgerCM) BeforeAttempt(int) {
+	m.p.mu.Lock()
+	m.p.attempts++
+	m.p.mu.Unlock()
+}
+
+func (m *ledgerCM) AfterAttempt(int) {}
+
+func (m *ledgerCM) Wait(_ context.Context, _ int, reason stm.AbortReason) {
+	m.p.mu.Lock()
+	m.p.waits++
+	m.p.byReason[reason]++
+	m.p.mu.Unlock()
+}
+
+// TestStatsReconcileWithContentionManager cross-checks, for every engine,
+// the per-reason abort counters in Stats.Snapshot() against what the
+// ContentionManager observed while driving the same transactions. Delay-only
+// chaos (no injected aborts) interleaves attempts so real conflicts occur on
+// any core count; every abort must then be (a) recorded by the engine, (b)
+// reported to the policy, (c) under the same reason.
+func TestStatsReconcileWithContentionManager(t *testing.T) {
+	goroutines, calls := 4, 120
+	if testing.Short() {
+		goroutines, calls = 4, 40
+	}
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			eng := engines.MustNew(name)
+			// Delay-only injection: widens overlap without adding chaos
+			// aborts, so engine stats and policy observations describe the
+			// same set of events.
+			tm := chaos.New(eng, chaos.Options{Seed: 11, DelayProb: 0.5})
+			ledger := newLedgerPolicy()
+			vars := make([]stm.Var, 6)
+			for i := range vars {
+				vars[i] = tm.NewVar(0)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < calls; i++ {
+						j := (g + i) % len(vars)
+						err := stm.AtomicallyCM(nil, tm, false, ledger, func(tx stm.Tx) error {
+							a := tx.Read(vars[j]).(int)
+							b := tx.Read(vars[(j+1)%len(vars)]).(int)
+							tx.Write(vars[j], a+1)
+							tx.Write(vars[(j+1)%len(vars)], b+1)
+							return nil
+						})
+						if err != nil {
+							t.Errorf("tx failed: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			snap := eng.Stats().Snapshot()
+			ledger.mu.Lock()
+			defer ledger.mu.Unlock()
+
+			if snap.Starts != ledger.attempts {
+				t.Errorf("engine saw %d starts, policy saw %d attempts", snap.Starts, ledger.attempts)
+			}
+			if snap.Aborts != ledger.waits {
+				t.Errorf("engine recorded %d aborts, policy observed %d", snap.Aborts, ledger.waits)
+			}
+			if want := ledger.attempts - ledger.waits; snap.Commits != want {
+				t.Errorf("engine recorded %d commits, policy ledger implies %d", snap.Commits, want)
+			}
+			// Per-reason totals must match exactly: same abort, same label.
+			for r, n := range ledger.byReason {
+				if got := snap.ByReason[r.String()]; got != n {
+					t.Errorf("reason %v: engine recorded %d, policy observed %d (engine map %v, policy map %v)",
+						r, got, n, snap.ByReason, ledger.byReason)
+				}
+			}
+			var ledgerTotal uint64
+			for _, n := range ledger.byReason {
+				ledgerTotal += n
+			}
+			if ledgerTotal != snap.Aborts {
+				t.Errorf("policy per-reason total %d != engine aborts %d", ledgerTotal, snap.Aborts)
+			}
+			t.Logf("%s: %d attempts, %d aborts, by reason %v", name, ledger.attempts, ledger.waits, snap.ByReason)
+		})
+	}
+}

@@ -125,10 +125,25 @@ type txn struct {
 	writeSet stm.WriteSet[*jvar]
 	locked   []*jvar
 	slot     mvutil.Slot
+
+	lastReason stm.AbortReason // why the last Commit returned false
 }
 
 // ReadOnly implements stm.Tx.
 func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner: the reason of the most recent
+// commit-time abort (read-path aborts travel in the retry signal).
+func (tx *txn) LastAbortReason() stm.AbortReason { return tx.lastReason }
+
+// failCommit records a commit-time abort with its reason, releases held locks
+// and reports failure.
+func (tx *txn) failCommit(reason stm.AbortReason) bool {
+	tx.releaseLocks()
+	tx.stats.RecordAbort(reason)
+	tx.lastReason = reason
+	return false
+}
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
@@ -157,6 +172,7 @@ func (tm *TM) Recycle(txi stm.Tx) {
 	tx.writeSet.Reset()
 	tx.locked = stm.ResetVarSlice(tx.locked)
 	tx.start = 0
+	tx.lastReason = stm.ReasonNone
 	tm.txns.Put(tx)
 }
 
@@ -242,9 +258,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	stm.SortEntriesByID(ents)
 	for i := range ents {
 		if !tx.lockVar(ents[i].Key) {
-			tx.releaseLocks()
-			tx.stats.RecordAbort(stm.ReasonWriteConflict)
-			return false
+			return tx.failCommit(stm.ReasonWriteConflict)
 		}
 	}
 	if prof != nil {
@@ -266,17 +280,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// variable is waited out (bounded) so we validate a stable head.
 	for _, v := range tx.readSet {
 		if !tx.waitUnlocked(v) {
-			tx.releaseLocks()
-			tx.stats.RecordAbort(stm.ReasonLockTimeout)
-			return false
+			return tx.failCommit(stm.ReasonLockTimeout)
 		}
 		if v.head.Load().ver > tx.start {
-			tx.releaseLocks()
-			tx.stats.RecordAbort(stm.ReasonReadConflict)
 			if prof != nil {
 				prof.AddReadSetVal(prof.Now() - t0)
 			}
-			return false
+			return tx.failCommit(stm.ReasonReadConflict)
 		}
 	}
 	if prof != nil {

@@ -81,10 +81,16 @@ type txn struct {
 
 	readSet  []readEntry
 	writeSet stm.WriteSet[*nvar]
+
+	lastReason stm.AbortReason // why the last Commit returned false
 }
 
 // ReadOnly implements stm.Tx.
 func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner: the reason of the most recent
+// commit-time abort (read-path aborts travel in the retry signal).
+func (tx *txn) LastAbortReason() stm.AbortReason { return tx.lastReason }
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
@@ -108,6 +114,7 @@ func (tm *TM) Recycle(txi stm.Tx) {
 	tx.readSet = stm.ResetVarSlice(tx.readSet)
 	tx.writeSet.Reset()
 	tx.snapshot = 0
+	tx.lastReason = stm.ReasonNone
 	tm.txns.Put(tx)
 }
 
@@ -216,6 +223,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	for !tm.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		if ok := tx.commitRevalidate(prof); !ok {
 			tx.stats.RecordAbort(stm.ReasonReadConflict)
+			tx.lastReason = stm.ReasonReadConflict
 			return false
 		}
 	}

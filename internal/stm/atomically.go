@@ -1,8 +1,12 @@
 package stm
 
 import (
+	"context"
 	"runtime"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/xrand"
 )
 
 // AbortReason classifies why an engine restarted a transaction. The TWM paper
@@ -35,6 +39,9 @@ const (
 	ReasonIntervalEmpty
 	// ReasonUser: explicit Retry requested by user code.
 	ReasonUser
+	// ReasonChaos: a fault injected by the internal/chaos middleware (spurious
+	// abort or forced commit failure). Never produced by a real engine.
+	ReasonChaos
 
 	numAbortReasons
 )
@@ -58,6 +65,8 @@ func (r AbortReason) String() string {
 		return "interval-empty"
 	case ReasonUser:
 		return "user"
+	case ReasonChaos:
+		return "chaos"
 	}
 	return "unknown"
 }
@@ -93,36 +102,77 @@ type TxRecycler interface {
 	Recycle(tx Tx)
 }
 
+// AbortReasoner is implemented by transaction descriptors that remember why
+// the engine last aborted them. Read-path aborts carry their reason in the
+// retry signal, but a Commit that returns false has no other channel: the
+// engine records the reason on the descriptor before returning, and the retry
+// loop reads it back (before recycling) to tell the ContentionManager why the
+// attempt failed. Engines that do not implement it are assumed to fail commits
+// only on write/write conflicts.
+type AbortReasoner interface {
+	LastAbortReason() AbortReason
+}
+
 // Atomically executes fn as a transaction of tm, retrying until it commits.
 //
 // fn may be executed several times; it must be idempotent apart from its
 // transactional reads and writes. Returning a non-nil error aborts the
 // transaction without retrying and returns that error (user-level abort).
 // Panics other than retry signals propagate after the engine cleans up.
+//
+// Retries use the built-in randomized exponential backoff (the schedule of
+// the Backoff type). AtomicallyCM plugs in a different contention-management
+// policy; AtomicallyCtx bounds the retry loop with a context.
 func Atomically(tm TM, readOnly bool, fn func(Tx) error) error {
+	return run(nil, tm, readOnly, nil, fn)
+}
+
+// run is the shared retry loop behind Atomically, AtomicallyCtx and
+// AtomicallyCM. ctx and cm may both be nil; with a nil cm the loop uses the
+// built-in Backoff schedule inline (no interface calls, no allocation — the
+// hot path of every benchmark).
+func run(ctx context.Context, tm TM, readOnly bool, cm ContentionManager, fn func(Tx) error) error {
 	rec, _ := tm.(TxRecycler)
 	var bo Backoff
-	for {
+	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return &CancelledError{Attempts: attempt - 1, Err: err}
+			}
+		}
+		if cm != nil {
+			cm.BeforeAttempt(attempt)
+		}
 		tx := tm.Begin(readOnly)
-		err, retry := runOnce(tm, tx, fn)
+		err, reason, retry := runOnce(tm, tx, fn)
 		if rec != nil {
 			rec.Recycle(tx)
+		}
+		if cm != nil {
+			cm.AfterAttempt(attempt)
 		}
 		if !retry {
 			return err
 		}
-		bo.Wait()
+		if cm != nil {
+			cm.Wait(ctx, attempt, reason)
+		} else {
+			bo.WaitCtx(ctx)
+		}
 	}
 }
 
 // runOnce executes one attempt of fn, mapping retry-signal panics to a retry
-// request and committing on success.
-func runOnce(tm TM, tx Tx, fn func(Tx) error) (err error, retry bool) {
+// request and committing on success. On retry it reports why the attempt
+// aborted: read-path aborts carry the reason in the retry signal; commit
+// failures are read back from the descriptor via AbortReasoner (defaulting to
+// ReasonWriteConflict for engines that do not implement it).
+func runOnce(tm TM, tx Tx, fn func(Tx) error) (err error, reason AbortReason, retry bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			tm.Abort(tx)
-			if _, ok := r.(retrySignal); ok {
-				retry = true
+			if sig, ok := r.(retrySignal); ok {
+				reason, retry = sig.reason, true
 				return
 			}
 			panic(r)
@@ -130,9 +180,18 @@ func runOnce(tm TM, tx Tx, fn func(Tx) error) (err error, retry bool) {
 	}()
 	if err := fn(tx); err != nil {
 		tm.Abort(tx)
-		return err, false
+		return err, ReasonNone, false
 	}
-	return nil, !tm.Commit(tx)
+	if tm.Commit(tx) {
+		return nil, ReasonNone, false
+	}
+	reason = ReasonWriteConflict
+	if ar, ok := tx.(AbortReasoner); ok {
+		if r := ar.LastAbortReason(); r != ReasonNone {
+			reason = r
+		}
+	}
+	return nil, reason, true
 }
 
 // Backoff implements randomized exponential backoff between transaction
@@ -152,17 +211,29 @@ const (
 	backoffMaxShift = 10      // cap at ~1ms
 )
 
+// backoffSeq distinguishes Backoff streams created anywhere in the process.
+// Seeding from the clock looked random but was not: goroutines entering
+// backoff in the same nanosecond got byte-identical xorshift streams and
+// backed off in lockstep, defeating the randomization exactly when it matters
+// (a contention storm sends many losers into backoff together).
+var backoffSeq atomic.Uint64
+
 // Wait blocks for the next backoff period and advances the schedule.
-func (b *Backoff) Wait() {
+func (b *Backoff) Wait() { b.WaitCtx(nil) }
+
+// WaitCtx is Wait with early wake-up: when ctx is non-nil and is cancelled
+// mid-sleep, the wait is cut short (the caller re-checks the context).
+func (b *Backoff) WaitCtx(ctx context.Context) {
 	b.attempt++
 	if b.attempt <= backoffYields {
 		runtime.Gosched()
 		return
 	}
 	if b.rng == 0 {
-		// Seed lazily from the clock; per-Backoff state avoids global
-		// rand lock contention on the hot retry path.
-		b.rng = uint64(time.Now().UnixNano()) | 1
+		// Seed lazily from a process-wide counter mixed through the
+		// SplitMix64 finalizer: every Backoff gets a distinct, well-spread
+		// stream with no clock dependence and no global rand lock.
+		b.rng = xrand.Mix(backoffSeq.Add(1)) | 1
 	}
 	b.rng ^= b.rng << 13
 	b.rng ^= b.rng >> 7
@@ -172,8 +243,32 @@ func (b *Backoff) Wait() {
 		shift = backoffMaxShift
 	}
 	window := uint64(backoffBaseNS) << uint(shift)
-	time.Sleep(time.Duration(b.rng % window))
+	sleepCtx(ctx, time.Duration(b.rng%window))
 }
 
 // Reset returns the backoff schedule to its initial state.
 func (b *Backoff) Reset() { b.attempt = 0 }
+
+// sleepCtx sleeps for d, returning early if ctx is cancelled. Short sleeps
+// (below ~100us) are not worth a timer plus select; cancellation latency is
+// bounded by the sleep itself in that regime.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil || d < 100*time.Microsecond {
+		time.Sleep(d)
+		return
+	}
+	done := ctx.Done()
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}

@@ -1,0 +1,249 @@
+package stm
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// ContentionManager decides how the retry loop reacts to aborts. It is the
+// liveness half of the STM: engines decide *whether* an attempt conflicts
+// (safety), the contention manager decides *when* the next attempt runs and
+// whether it gets special treatment (progress). Keeping the two separable is
+// the standard factoring of the MV-STM literature — permissiveness results
+// are stated about the conflict rule, starvation-freedom about the policy on
+// top — and it is the seam AtomicallyCM exposes.
+//
+// One manager serves exactly one Atomically call: managers hold per-call
+// state (attempt counters, RNG streams, escalation flags) and are not safe
+// for concurrent use. Shared policy state — a serialization token, global
+// counters — lives in the Policy that manufactured the manager.
+//
+// The retry loop drives a manager as follows, with attempt numbering from 1:
+//
+//	BeforeAttempt(n)   immediately before attempt n begins (gate here)
+//	AfterAttempt(n)    immediately after attempt n finishes, any outcome
+//	Wait(ctx, n, r)    after attempt n aborted with reason r; block for the
+//	                   policy's delay, returning early if ctx is cancelled
+type ContentionManager interface {
+	BeforeAttempt(attempt int)
+	AfterAttempt(attempt int)
+	Wait(ctx context.Context, attempt int, reason AbortReason)
+}
+
+// Policy manufactures one ContentionManager per Atomically call. Policies may
+// be shared freely across goroutines; the managers they return may not.
+type Policy interface {
+	NewManager() ContentionManager
+}
+
+// ---------------------------------------------------------------------------
+// Randomized exponential backoff (the default).
+
+// BackoffPolicy is the default policy: randomized exponential backoff,
+// identical to the built-in schedule Atomically uses when no policy is given.
+// It ignores the abort reason.
+type BackoffPolicy struct{}
+
+// NewManager implements Policy.
+func (BackoffPolicy) NewManager() ContentionManager { return &backoffCM{} }
+
+type backoffCM struct{ bo Backoff }
+
+func (m *backoffCM) BeforeAttempt(int) {}
+func (m *backoffCM) AfterAttempt(int)  {}
+func (m *backoffCM) Wait(ctx context.Context, _ int, _ AbortReason) {
+	m.bo.WaitCtx(ctx)
+}
+
+// ---------------------------------------------------------------------------
+// Reason-aware backoff.
+
+// reasonClass tunes the schedule for one family of abort reasons.
+type reasonClass struct {
+	yields   int    // attempts that merely yield before sleeping starts
+	baseNS   uint64 // first sleep window
+	maxShift int    // exponential growth cap: window <= baseNS << maxShift
+}
+
+// ReasonAwarePolicy backs off differently per abort reason, exploiting what
+// the classification already tells us about the conflict:
+//
+//   - Lock timeouts mean a peer is mid-commit holding the lock we spun on;
+//     retrying immediately just burns the spin budget again, so the schedule
+//     starts sleeping at once with a larger base window (enough for a commit
+//     to drain) and a higher cap.
+//   - Triad and time-warp-skip aborts are structural: several update
+//     transactions are interleaved into an anti-dependency pattern, and the
+//     fix is to de-phase the contenders, so the windows grow faster than for
+//     plain read conflicts.
+//   - Read/write conflicts and validation failures are the cheap, common
+//     case: yield a couple of times, then the classic schedule.
+//   - User retries are waits for a state change; they start sleeping at once
+//     with a patient cap since spinning cannot make the awaited write happen.
+//
+// The zero value is ready to use.
+type ReasonAwarePolicy struct{}
+
+// NewManager implements Policy.
+func (ReasonAwarePolicy) NewManager() ContentionManager {
+	return &reasonCM{rng: xrand.Mix(backoffSeq.Add(1)) | 1}
+}
+
+// reasonClasses maps every AbortReason to its schedule. Indexed by reason.
+var reasonClasses = [numAbortReasons]reasonClass{
+	ReasonNone:          {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	ReasonReadConflict:  {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	ReasonWriteConflict: {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	ReasonIntervalEmpty: {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	ReasonChaos:         {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	ReasonTriad:         {yields: 1, baseNS: 1 << 11, maxShift: 11},
+	ReasonTimeWarpSkip:  {yields: 1, baseNS: 1 << 11, maxShift: 11},
+	ReasonLockTimeout:   {yields: 0, baseNS: 1 << 13, maxShift: 9},
+	ReasonUser:          {yields: 0, baseNS: 1 << 12, maxShift: 13},
+}
+
+type reasonCM struct {
+	rng    uint64
+	sleeps int // attempts past the yield phase, drives the exponent
+}
+
+func (m *reasonCM) BeforeAttempt(int) {}
+func (m *reasonCM) AfterAttempt(int)  {}
+
+func (m *reasonCM) Wait(ctx context.Context, attempt int, reason AbortReason) {
+	c := reasonClasses[reason]
+	if attempt <= c.yields {
+		runtime.Gosched()
+		return
+	}
+	m.sleeps++
+	m.rng ^= m.rng << 13
+	m.rng ^= m.rng >> 7
+	m.rng ^= m.rng << 17
+	shift := m.sleeps - 1
+	if shift > c.maxShift {
+		shift = c.maxShift
+	}
+	window := c.baseNS << uint(shift)
+	sleepCtx(ctx, time.Duration(m.rng%window))
+}
+
+// ---------------------------------------------------------------------------
+// Starvation escalation.
+
+// StarvationPolicy guarantees progress to transactions the backoff lottery
+// keeps losing. Attempts up to K retry under the Inner policy as usual; once
+// a call has aborted K times it escalates: its next attempt acquires the
+// policy's process-wide serialization token exclusively, while every
+// non-escalated attempt managed by the same policy holds the token shared.
+// The escalated attempt therefore runs with no concurrent transaction in
+// flight anywhere in the policy's domain, so no conflict rule in this
+// repository can abort it — every engine commits a solo update transaction —
+// and it commits on the first escalated attempt. (Fault-injection middleware
+// observes EscalationActive and does not inject conflict-like faults into a
+// serialized attempt — a solo transaction cannot conflict, so such a fault
+// would model a failure mode no engine exhibits — keeping the bound of K+1
+// attempts intact under chaos.)
+//
+// The guarantee only covers transactions routed through the same
+// *StarvationPolicy value: the token cannot exclude transactions entering
+// the engine through a different policy or plain Atomically. Share one
+// policy per domain of mutually conflicting transactions.
+//
+// The token is a sync.RWMutex, whose writer-preference makes escalation
+// acquisition itself bounded: once the starving transaction blocks on Lock,
+// new shared acquisitions queue behind it.
+type StarvationPolicy struct {
+	// K is the number of aborted attempts tolerated before escalation
+	// (default 8).
+	K int
+	// Inner is the policy applied below the escalation threshold (default
+	// BackoffPolicy).
+	Inner Policy
+
+	token sync.RWMutex
+	// escalations counts calls that crossed the threshold (observability).
+	escalations atomic.Uint64
+}
+
+// NewStarvationPolicy returns a policy escalating after k aborted attempts
+// with inner backoff below the threshold. k <= 0 selects the default of 8;
+// a nil inner selects BackoffPolicy.
+func NewStarvationPolicy(k int, inner Policy) *StarvationPolicy {
+	return &StarvationPolicy{K: k, Inner: inner}
+}
+
+func (p *StarvationPolicy) threshold() int {
+	if p.K > 0 {
+		return p.K
+	}
+	return 8
+}
+
+// Escalations reports how many calls have escalated to the serialization
+// token so far.
+func (p *StarvationPolicy) Escalations() uint64 { return p.escalations.Load() }
+
+// NewManager implements Policy.
+func (p *StarvationPolicy) NewManager() ContentionManager {
+	inner := p.Inner
+	if inner == nil {
+		inner = BackoffPolicy{}
+	}
+	return &starvationCM{p: p, inner: inner.NewManager()}
+}
+
+// escalationDepth counts escalated attempts currently holding some
+// StarvationPolicy token exclusively, process-wide.
+var escalationDepth atomic.Int32
+
+// EscalationActive reports whether an escalated (serialized) attempt is
+// currently running anywhere in the process. Fault-injection middleware uses
+// it to suppress conflict-like faults: a transaction holding a serialization
+// token runs alone and cannot conflict, so injecting an abort into it would
+// fake a failure no engine exhibits — and would void the starvation policy's
+// bounded-attempts guarantee.
+func EscalationActive() bool { return escalationDepth.Load() > 0 }
+
+type starvationCM struct {
+	p         *StarvationPolicy
+	inner     ContentionManager
+	escalated bool
+}
+
+func (m *starvationCM) BeforeAttempt(attempt int) {
+	if m.escalated {
+		m.p.token.Lock()
+		escalationDepth.Add(1)
+	} else {
+		m.p.token.RLock()
+	}
+	m.inner.BeforeAttempt(attempt)
+}
+
+func (m *starvationCM) AfterAttempt(attempt int) {
+	m.inner.AfterAttempt(attempt)
+	if m.escalated {
+		escalationDepth.Add(-1)
+		m.p.token.Unlock()
+	} else {
+		m.p.token.RUnlock()
+	}
+}
+
+func (m *starvationCM) Wait(ctx context.Context, attempt int, reason AbortReason) {
+	if attempt >= m.p.threshold() {
+		if !m.escalated {
+			m.escalated = true
+			m.p.escalations.Add(1)
+		}
+		// No backoff: exclusivity, not delay, provides progress from here.
+		return
+	}
+	m.inner.Wait(ctx, attempt, reason)
+}

@@ -1,31 +1,61 @@
 package stm
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
+
+// CancelledError is returned by AtomicallyCtx and AtomicallyCM when the
+// context is cancelled or its deadline expires before the transaction
+// commits. It is distinct from both user errors (returned verbatim from the
+// body) and engine aborts (which retry silently): the transaction made no
+// durable change, and Attempts reports how many attempts had aborted before
+// the loop gave up. Unwrap yields the context's own error, so
+// errors.Is(err, context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+// work as usual.
+type CancelledError struct {
+	// Attempts counts fully-finished (aborted) attempts before cancellation
+	// was observed.
+	Attempts int
+	// Err is the context's error: context.Canceled or context.DeadlineExceeded.
+	Err error
+}
+
+// Error implements error.
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("stm: transaction cancelled after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the context's error to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Err }
 
 // AtomicallyCtx is Atomically with cancellation: between retry attempts it
-// checks ctx and gives up with ctx.Err() once the context is done. A
-// transaction attempt already in flight is never interrupted midway (there
-// is no preemption point inside an attempt), so a cancelled call returns
-// only from a consistent state: either before starting an attempt or after
-// one aborted.
+// checks ctx and gives up with a *CancelledError once the context is done.
+// Cancellation also cuts a backoff sleep short, so the call returns promptly
+// even when cancelled mid-wait. A transaction attempt already in flight is
+// never interrupted midway (there is no preemption point inside an attempt),
+// so a cancelled call returns only from a consistent state: either before
+// starting an attempt or after one aborted.
 //
 // Use it for request-scoped work where livelock under pathological
 // contention must be bounded by a deadline rather than by backoff alone.
 func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error) error {
-	rec, _ := tm.(TxRecycler)
-	var bo Backoff
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		tx := tm.Begin(readOnly)
-		err, retry := runOnce(tm, tx, fn)
-		if rec != nil {
-			rec.Recycle(tx)
-		}
-		if !retry {
-			return err
-		}
-		bo.Wait()
+	return run(ctx, tm, readOnly, nil, fn)
+}
+
+// AtomicallyCM is Atomically with an explicit contention-management policy
+// and optional cancellation (a nil ctx never cancels). The policy is
+// consulted around every attempt and between retries with the attempt count
+// and the abort reason; see ContentionManager for the exact protocol and the
+// shipped policies (BackoffPolicy, ReasonAwarePolicy, StarvationPolicy).
+//
+// One manager is manufactured per call (a small allocation); the undecorated
+// Atomically remains the allocation-free fast path for code that does not
+// need a custom policy.
+func AtomicallyCM(ctx context.Context, tm TM, readOnly bool, p Policy, fn func(Tx) error) error {
+	var cm ContentionManager
+	if p != nil {
+		cm = p.NewManager()
 	}
+	return run(ctx, tm, readOnly, cm, fn)
 }

@@ -20,9 +20,16 @@ type Profiler struct {
 	txs           atomic.Int64
 }
 
-// Now returns the current monotonic-ish timestamp in nanoseconds. Centralized
-// so engines share one definition of "time" for the breakdown.
-func (p *Profiler) Now() int64 { return time.Now().UnixNano() }
+// processStart anchors Profiler.Now. time.Since reads the monotonic clock,
+// so phase deltas are immune to wall-clock steps (NTP slew or jump mid-run
+// used to corrupt the Fig. 4(c) breakdown with negative or inflated phase
+// times, because UnixNano strips Go's monotonic reading).
+var processStart = time.Now()
+
+// Now returns the current monotonic timestamp in nanoseconds since process
+// start. Centralized so engines share one definition of "time" for the
+// breakdown; only differences of Now values are meaningful.
+func (p *Profiler) Now() int64 { return int64(time.Since(processStart)) }
 
 // AddRead charges elapsed nanoseconds to the read-barrier phase.
 func (p *Profiler) AddRead(ns int64) { p.readNS.Add(ns) }

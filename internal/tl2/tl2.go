@@ -102,10 +102,25 @@ type txn struct {
 	readSet  []*tlvar
 	writeSet stm.WriteSet[*tlvar]
 	locked   []*tlvar
+
+	lastReason stm.AbortReason // why the last Commit returned false
 }
 
 // ReadOnly implements stm.Tx.
 func (tx *txn) ReadOnly() bool { return tx.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner: the reason of the most recent
+// commit-time abort (read-path aborts travel in the retry signal).
+func (tx *txn) LastAbortReason() stm.AbortReason { return tx.lastReason }
+
+// failCommit records a commit-time abort with its reason, releases held locks
+// and reports failure.
+func (tx *txn) failCommit(reason stm.AbortReason) bool {
+	tx.releaseLocks()
+	tx.stats.RecordAbort(reason)
+	tx.lastReason = reason
+	return false
+}
 
 // Begin implements stm.TM.
 func (tm *TM) Begin(readOnly bool) stm.Tx {
@@ -128,6 +143,7 @@ func (tm *TM) Recycle(txi stm.Tx) {
 	tx.writeSet.Reset()
 	tx.locked = stm.ResetVarSlice(tx.locked)
 	tx.rv = 0
+	tx.lastReason = stm.ReasonNone
 	tm.txns.Put(tx)
 }
 
@@ -238,9 +254,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	stm.SortEntriesByID(ents)
 	for i := range ents {
 		if !tx.lockVar(ents[i].Key) {
-			tx.releaseLocks()
-			tx.stats.RecordAbort(stm.ReasonWriteConflict)
-			return false
+			return tx.failCommit(stm.ReasonWriteConflict)
 		}
 	}
 	wv := tm.clock.Add(1)
@@ -258,12 +272,10 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		for _, v := range tx.readSet {
 			m := v.meta.Load()
 			if metaVersion(m) > tx.rv || (metaLocked(m) && !tx.holds(v)) {
-				tx.releaseLocks()
-				tx.stats.RecordAbort(stm.ReasonReadConflict)
 				if prof != nil {
 					prof.AddReadSetVal(prof.Now() - t0)
 				}
-				return false
+				return tx.failCommit(stm.ReasonReadConflict)
 			}
 		}
 	}

@@ -58,8 +58,10 @@ type Event struct {
 // TM wraps an inner engine with event recording.
 type TM struct {
 	inner stm.TM
+	rec   stm.TxRecycler // inner's recycler; nil when unsupported
 	seq   atomic.Uint64
 	txSeq atomic.Uint64
+	pool  sync.Pool // of *tracedTx wrappers
 
 	mu   sync.Mutex
 	ring []Event
@@ -72,7 +74,10 @@ func New(inner stm.TM, capacity int) *TM {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &TM{inner: inner, ring: make([]Event, capacity)}
+	t := &TM{inner: inner, ring: make([]Event, capacity)}
+	t.rec, _ = inner.(stm.TxRecycler)
+	t.pool.New = func() any { return &tracedTx{} }
+	return t
 }
 
 // Name implements stm.TM.
@@ -83,6 +88,28 @@ func (t *TM) NewVar(initial stm.Value) stm.Var { return t.inner.NewVar(initial) 
 
 // Stats implements stm.TM.
 func (t *TM) Stats() *stm.Stats { return t.inner.Stats() }
+
+// SetProfiler implements stm.Profilable when the inner engine does.
+func (t *TM) SetProfiler(p *stm.Profiler) {
+	if prof, ok := t.inner.(stm.Profilable); ok {
+		prof.SetProfiler(p)
+	}
+}
+
+// EnableHistory implements stm.HistoryRecording when the inner engine does.
+func (t *TM) EnableHistory() {
+	if h, ok := t.inner.(stm.HistoryRecording); ok {
+		h.EnableHistory()
+	}
+}
+
+// History implements stm.HistoryRecording when the inner engine does.
+func (t *TM) History(v stm.Var) []stm.VersionRecord {
+	if h, ok := t.inner.(stm.HistoryRecording); ok {
+		return h.History(v)
+	}
+	return nil
+}
 
 func (t *TM) record(e Event) {
 	e.Seq = t.seq.Add(1)
@@ -100,7 +127,28 @@ func (t *TM) record(e Event) {
 func (t *TM) Begin(readOnly bool) stm.Tx {
 	id := t.txSeq.Add(1)
 	t.record(Event{Tx: id, Kind: Begin, ReadOnly: readOnly})
-	return &tracedTx{inner: t.inner.Begin(readOnly), tm: t, id: id, readOnly: readOnly}
+	tt := t.pool.Get().(*tracedTx)
+	tt.inner, tt.tm, tt.id, tt.readOnly = t.inner.Begin(readOnly), t, id, readOnly
+	return tt
+}
+
+// Recycle implements stm.TxRecycler: the wrapper returns to its own pool and
+// the wrapped transaction is forwarded to the inner engine's recycler. Without
+// this forwarding, wrapping any engine in the tracer silently disabled the
+// inner engine's descriptor pooling (Atomically's tm.(TxRecycler) assertion
+// failed on the wrapper), so every traced attempt re-allocated its read and
+// write sets.
+func (t *TM) Recycle(tx stm.Tx) {
+	tt, ok := tx.(*tracedTx)
+	if !ok {
+		return
+	}
+	inner := tt.inner
+	tt.inner = nil
+	t.pool.Put(tt)
+	if t.rec != nil {
+		t.rec.Recycle(inner)
+	}
 }
 
 // Commit implements stm.TM.
@@ -204,3 +252,12 @@ func (t *tracedTx) Write(v stm.Var, val stm.Value) {
 }
 
 func (t *tracedTx) ReadOnly() bool { return t.readOnly }
+
+// LastAbortReason implements stm.AbortReasoner when the inner transaction
+// does, so tracing does not hide commit-failure reasons from the retry loop.
+func (t *tracedTx) LastAbortReason() stm.AbortReason {
+	if ar, ok := t.inner.(stm.AbortReasoner); ok {
+		return ar.LastAbortReason()
+	}
+	return stm.ReasonNone
+}

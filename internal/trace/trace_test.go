@@ -105,3 +105,47 @@ func TestDumpRendering(t *testing.T) {
 		t.Fatalf("name = %q", tm.Name())
 	}
 }
+
+func TestTracerForwardsEngineSurface(t *testing.T) {
+	inner := core.New(core.Options{})
+	tm := trace.New(inner, 64)
+	// The tracer must forward the optional engine capabilities; losing
+	// TxRecycler in particular silently disabled descriptor pooling for every
+	// traced engine (see TestAllocsTracedReadOnly in internal/engines).
+	if _, ok := stm.TM(tm).(stm.TxRecycler); !ok {
+		t.Fatalf("trace.TM must implement stm.TxRecycler")
+	}
+	if _, ok := stm.TM(tm).(stm.HistoryRecording); !ok {
+		t.Fatalf("trace.TM must forward history recording")
+	}
+	if _, ok := stm.TM(tm).(stm.Profilable); !ok {
+		t.Fatalf("trace.TM must forward profiling")
+	}
+	if tm.Stats() != inner.Stats() {
+		t.Fatalf("Stats must forward to the inner engine")
+	}
+}
+
+func TestTracedTxForwardsAbortReason(t *testing.T) {
+	tm := trace.New(core.New(core.Options{}), 64)
+	x := tm.NewVar(0)
+	t1 := tm.Begin(false)
+	t1.Read(x)
+	t1.Write(x, 1)
+	t2 := tm.Begin(false)
+	t2.Read(x)
+	t2.Write(x, 2)
+	if !tm.Commit(t1) {
+		t.Fatalf("t1 commit failed")
+	}
+	if tm.Commit(t2) {
+		t.Fatalf("t2 must lose the write/write race")
+	}
+	ar, ok := t2.(stm.AbortReasoner)
+	if !ok {
+		t.Fatalf("traced tx must forward AbortReasoner")
+	}
+	if got := ar.LastAbortReason(); got == stm.ReasonNone {
+		t.Fatalf("commit-failure reason lost by the tracer")
+	}
+}

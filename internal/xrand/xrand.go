@@ -5,6 +5,8 @@
 // of a shared generator.
 package xrand
 
+import "math/bits"
+
 // Rand is a SplitMix64 generator. Not safe for concurrent use; derive one per
 // goroutine with Split.
 type Rand struct {
@@ -20,6 +22,16 @@ func New(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// Reseed resets the generator to the stream defined by seed, as if freshly
+// created by New (0 is remapped as in New). It lets pooled owners reuse one
+// Rand allocation across many short-lived streams.
+func (r *Rand) Reseed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r.state = seed
+}
+
 // Split derives an independent stream for worker i.
 func (r *Rand) Split(i int) *Rand {
 	return New(mix(r.state + uint64(i+1)*0xBF58476D1CE4E5B9))
@@ -31,6 +43,12 @@ func mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix is the SplitMix64 finalizer: a cheap bijective scrambler that spreads
+// nearby inputs across the whole 64-bit space. Exported for callers that need
+// to turn a sequential counter into a well-distributed seed (e.g. stm.Backoff
+// seeds one stream per instance from a global counter).
+func Mix(z uint64) uint64 { return mix(z) }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9E3779B97F4A7C15
@@ -38,11 +56,26 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// Sampling is exactly uniform via Lemire's multiply-then-rejection method:
+// the previous Uint64()%n was modulo-biased toward low values whenever n did
+// not divide 2^64, skewing "uniform" workload key choices toward low keys.
+// The fix changes the consumed stream (one draw per call in the common case,
+// occasionally more), so derived deterministic sequences — Perm, Shuffle,
+// Zipf, workload traces — differ from pre-fix runs with the same seed.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) % n, rejection zone size
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Int63 returns a non-negative int64.
