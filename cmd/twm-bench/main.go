@@ -15,6 +15,8 @@
 //	tree       ablation: treap vs red-black tree ordered maps (-zipf for skew)
 //	stamp      Fig. 5 panel for one application (-app)
 //	summary    Fig. 5(a)-(h) + Fig. 5(i) + Table 2 (all applications)
+//	pressure   resource-exhaustion: stabilize/degrade/recover under a
+//	           version budget, with admission gating and watchdog alerts
 //	all        everything above
 //
 // Flags select engines, thread counts, per-cell duration for the
@@ -126,6 +128,9 @@ func run(args []string) error {
 		return emit("fig5-"+*app, res, err)
 	case "summary":
 		return summary(cfg, stampScale, emit)
+	case "pressure":
+		res, err := bench.PressureFigure(out, cfg, bench.DefaultPressure())
+		return emit("pressure", res, err)
 	case "all":
 		if res, err := bench.Fig3SkipList(out, cfg, sl); emit("fig3-skiplist", res, err) != nil {
 			return err

@@ -1,6 +1,8 @@
 package chaos_test
 
 import (
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,6 +12,24 @@ import (
 	"repro/internal/engines"
 	"repro/internal/stm"
 )
+
+// chaosSeed returns the seed a soak runs under: def normally, or the value of
+// TWM_CHAOS_SEED when set (for replaying a failure). The seed is always
+// logged — t.Logf output surfaces on failure, so a failing soak names the
+// exact seed that reproduces it.
+func chaosSeed(t *testing.T, def uint64) uint64 {
+	t.Helper()
+	seed := def
+	if env := os.Getenv("TWM_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseUint(env, 0, 64)
+		if err != nil {
+			t.Fatalf("bad TWM_CHAOS_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %#x (replay with TWM_CHAOS_SEED=%#x)", seed, seed)
+	return seed
+}
 
 // TestChaosSoakSerializable drives every registered engine through the
 // randomized dsg serializability oracle with fault injection layered on top:
@@ -25,7 +45,7 @@ func TestChaosSoakSerializable(t *testing.T) {
 	for _, name := range engines.Names() {
 		t.Run(name, func(t *testing.T) {
 			tm := chaos.New(engines.MustNew(name), chaos.Options{
-				Seed:           0xC0FFEE,
+				Seed:           chaosSeed(t, 0xC0FFEE),
 				AbortProb:      0.05,
 				DelayProb:      0.15, // Delay 0: Gosched, forcing overlap on any core count
 				CommitFailProb: 0.05,
@@ -64,7 +84,7 @@ func TestChaosStarvationBoundedProgress(t *testing.T) {
 	for round := 0; round < rounds; round++ {
 		eng := engines.MustNew("twm")
 		tm := chaos.New(eng, chaos.Options{
-			Seed:            uint64(round + 1),
+			Seed:            chaosSeed(t, uint64(round+1)),
 			CommitFailEvery: 2,
 			DelayProb:       0.5, // Gosched: interleave attempts on any core count
 		})

@@ -46,14 +46,25 @@ func (tx *txn) readOpaque(tv *twvar) stm.Value {
 	ver := tv.latest.Load()
 	for ver.twOrder > tx.start {
 		ver = ver.next.Load()
+		if ver == nil {
+			// A hard-pressure trim reclaimed the version this snapshot needs
+			// (trim only cuts a chain suffix, so a walk that terminates
+			// normally saw everything it would have pre-trim).
+			tx.stats.RecordAbort(stm.ReasonMemoryPressure)
+			stm.Retry(stm.ReasonMemoryPressure)
+		}
 	}
 	return ver.value
 }
 
 // scanOpaque performs the commit-time anti-dependency scan for one read
-// variable under opacity visibility. It returns false when the transaction
-// must abort (a time-warped version from a later natural committer).
-func (tx *txn) scanOpaque(ver *version) bool {
+// variable under opacity visibility. It returns stm.ReasonNone when the
+// transaction may proceed, stm.ReasonTimeWarpSkip when it must abort (a
+// time-warped version from a later natural committer), and
+// stm.ReasonMemoryPressure when the scan ran off a chain shortened by a
+// hard-pressure trim — anti-dependency information may be lost, so the
+// commit aborts rather than risk mis-serialization.
+func (tx *txn) scanOpaque(ver *version) stm.AbortReason {
 	for ver.twOrder > tx.start {
 		if ver.natOrder < tx.natOrder {
 			// Missed version from an earlier natural committer: serialize
@@ -63,9 +74,12 @@ func (tx *txn) scanOpaque(ver *version) bool {
 			}
 			tx.source = true
 		} else if ver.timeWarped() {
-			return false
+			return stm.ReasonTimeWarpSkip
 		}
 		ver = ver.next.Load()
+		if ver == nil {
+			return stm.ReasonMemoryPressure
+		}
 	}
-	return true
+	return stm.ReasonNone
 }

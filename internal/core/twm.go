@@ -56,11 +56,23 @@ type Options struct {
 	// anti-dependency detection then keys on twOrder instead of natOrder.
 	// See opacity.go.
 	Opacity bool
+	// Budget, when non-nil, caps the engine's version memory (see
+	// mvutil.VersionBudget and DESIGN.md §11): soft pressure triggers eager
+	// GC, hard pressure trims chains to MaxVersionDepth and, as a last
+	// resort, fails commits with stm.ReasonMemoryPressure. A budget may be
+	// shared with other engines. Nil (the default) leaves version memory
+	// unbounded, preserving every paper guarantee unconditionally.
+	Budget *mvutil.VersionBudget
+	// MaxVersionDepth is the per-variable chain depth the hard-pressure trim
+	// pass cuts to. 0 selects the default; it is only consulted when Budget
+	// is set.
+	MaxVersionDepth int
 }
 
 const (
 	defaultGCEvery   = 4096
 	defaultSpinLimit = 2048
+	defaultTrimDepth = 8
 )
 
 // TM is a Time-Warp Multi-version transactional memory instance.
@@ -94,6 +106,9 @@ func New(opts Options) *TM {
 	if opts.Opacity && opts.DisableTimeWarp {
 		panic("core: Opacity and DisableTimeWarp are mutually exclusive")
 	}
+	if opts.MaxVersionDepth <= 0 {
+		opts.MaxVersionDepth = defaultTrimDepth
+	}
 	tm := &TM{opts: opts}
 	// Start the clock at 1 so the zero readStamp of a never-read variable can
 	// never satisfy the readStamp >= start target check (initial versions
@@ -126,6 +141,12 @@ func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
 
 // Clock exposes the current logical clock value (tests and examples).
 func (tm *TM) Clock() uint64 { return tm.clock.Load() }
+
+// ActiveSet exposes the active-transaction registry (health watchdog).
+func (tm *TM) ActiveSet() *mvutil.ActiveSet { return tm.active }
+
+// Budget exposes the configured version budget; nil when unbounded.
+func (tm *TM) Budget() *mvutil.VersionBudget { return tm.opts.Budget }
 
 // CommitOrders reports the natural and time-warp commit orders assigned to a
 // committed update transaction of this TM (both zero before commit). A
@@ -171,6 +192,11 @@ func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	v := &twvar{}
 	root := &version{value: initial}
 	v.latest.Store(root)
+	if b := tm.opts.Budget; b != nil {
+		// The initial version is charged too: GC may free it once newer
+		// versions exist, and releases must balance installs.
+		b.Install(1, mvutil.ApproxVersionBytes(initial))
+	}
 	if tm.history.Load() {
 		v.hist = &historyLog{}
 	}
@@ -319,6 +345,13 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 
 // readRO is the read-only visibility rule: semi-visible read, then the newest
 // version with twOrder <= start (time-warp committed versions included).
+//
+// Without a budget the walk always terminates: GC never frees the newest
+// version visible at the oldest active snapshot. A hard-pressure trim may
+// have cut the version this snapshot needs; the walk then runs off the chain
+// and the transaction restarts with ReasonMemoryPressure — the one documented
+// case where a read-only transaction aborts (a fresh attempt takes a current
+// snapshot, which the trim depth always serves).
 func (tx *txn) readRO(tv *twvar) stm.Value {
 	// The semi-visible read must precede the lock wait so that a concurrent
 	// committer either observes the raised readStamp (and raises its target
@@ -328,6 +361,10 @@ func (tx *txn) readRO(tv *twvar) stm.Value {
 	ver := tv.latest.Load()
 	for ver.twOrder > tx.start {
 		ver = ver.next.Load()
+		if ver == nil {
+			tx.stats.RecordAbort(stm.ReasonMemoryPressure)
+			stm.Retry(stm.ReasonMemoryPressure)
+		}
 	}
 	return ver.value
 }
@@ -351,6 +388,13 @@ func (tx *txn) readUpdate(tv *twvar) stm.Value {
 			stm.Retry(stm.ReasonTimeWarpSkip)
 		}
 		ver = ver.next.Load()
+		if ver == nil {
+			// A hard-pressure trim reclaimed the version this snapshot
+			// needs (trim only cuts a chain suffix, so a walk that
+			// terminates normally saw everything it would have pre-trim).
+			tx.stats.RecordAbort(stm.ReasonMemoryPressure)
+			stm.Retry(stm.ReasonMemoryPressure)
+		}
 	}
 	return ver.value
 }
@@ -396,6 +440,15 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		// anti-dependency, so no triad can pivot on it.
 		tx.stats.RecordCommit(tx.readOnly)
 		return true
+	}
+
+	// Version-memory backpressure: before taking any commit lock, make sure
+	// the budget can absorb this transaction's installs, escalating through
+	// eager GC and chain trimming; when even those cannot relieve hard
+	// pressure, the commit fails so the retry loop and contention manager can
+	// react (no locks are held yet).
+	if tm.opts.Budget != nil && !tm.admitInstall() {
+		return tm.failCommit(tx, stm.ReasonMemoryPressure)
 	}
 
 	prof := tm.prof.Load()
@@ -456,8 +509,8 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		}
 		ver := v.latest.Load()
 		if tm.opts.Opacity {
-			if !tx.scanOpaque(ver) {
-				return tm.failCommit(tx, stm.ReasonTimeWarpSkip)
+			if r := tx.scanOpaque(ver); r != stm.ReasonNone {
+				return tm.failCommit(tx, r)
 			}
 			continue
 		}
@@ -486,6 +539,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 			// serialize after us at their own (un-warped) natural position;
 			// our twOrder <= natOrder < theirs already orders us first.
 			ver = ver.next.Load()
+			if ver == nil {
+				// A trim reclaimed the tail before the scan reached a
+				// version at or below our snapshot: anti-dependency
+				// information may be lost, so abort rather than risk a
+				// mis-serialized commit.
+				return tm.failCommit(tx, stm.ReasonMemoryPressure)
+			}
 		}
 	}
 	if prof != nil {
@@ -533,12 +593,27 @@ func (tm *TM) failCommit(tx *txn, reason stm.AbortReason) bool {
 // transactions serialize in inverse natural order, so the version of the
 // earliest natural committer — which, holding the commit lock, necessarily
 // inserted first — is the one later transactions must not shadow.
+//
+// When the insertion walk runs off a chain shortened by a hard-pressure trim
+// (every retained version has a larger twOrder than ours), the insertion is
+// also skipped: appending below the trim cut would let a reader whose
+// snapshot falls between our twOrder and the oldest retained version observe
+// our value where a (trimmed) newer-serialized one was due. Skipping keeps
+// those readers on the documented degradation path instead — their walk
+// reaches nil and restarts with stm.ReasonMemoryPressure — and changes
+// nothing for readers and scans that terminate within the retained prefix.
 func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value) {
 	var newer *version
 	older := v.latest.Load()
-	for tx.twOrder < older.twOrder {
+	for older != nil && tx.twOrder < older.twOrder {
 		newer = older
 		older = older.next.Load()
+	}
+	if older == nil {
+		if v.hist != nil {
+			v.hist.append(stm.VersionRecord{Value: val, Serial: tx.twOrder, Tie: tx.natOrder, Elided: true})
+		}
+		return // below the trim cut; see above
 	}
 	if tx.twOrder == older.twOrder {
 		if v.hist != nil {
@@ -553,7 +628,51 @@ func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value) {
 	} else {
 		newer.next.Store(ver)
 	}
+	if b := tm.opts.Budget; b != nil {
+		b.Install(1, mvutil.ApproxVersionBytes(val))
+	}
 	if v.hist != nil {
 		v.hist.append(stm.VersionRecord{Value: val, Serial: tx.twOrder, Tie: tx.natOrder})
 	}
+}
+
+// admitInstall enforces the version budget before a commit may install new
+// versions, escalating until pressure relents: soft pressure triggers an
+// eager GC pass (non-blocking — when another pass is already running it frees
+// versions on our behalf), hard pressure runs a blocking pass, then trims
+// every chain to MaxVersionDepth, and when even trimming leaves the budget
+// above its hard limit the install is refused. It runs before any commit lock
+// is taken and reports whether the commit may proceed.
+func (tm *TM) admitInstall() bool {
+	b := tm.opts.Budget
+	switch b.Level() {
+	case mvutil.PressureNone:
+		return true
+	case mvutil.PressureSoft:
+		if tm.gcMu.TryLock() {
+			tm.gcLocked()
+			tm.gcMu.Unlock()
+			b.NoteSoftGC()
+		}
+		return true
+	}
+	// Hard pressure: one blocking pass at a time serves every committer that
+	// hit the limit together (they re-check the level under the lock, so the
+	// losers of the lock race usually find the pressure already relieved).
+	tm.gcMu.Lock()
+	if b.Level() == mvutil.PressureHard {
+		tm.gcLocked()
+		b.NoteSoftGC()
+	}
+	if b.Level() == mvutil.PressureHard {
+		tm.trimLocked(tm.opts.MaxVersionDepth)
+		b.NoteTrim()
+	}
+	level := b.Level()
+	tm.gcMu.Unlock()
+	if level == mvutil.PressureHard {
+		b.NoteReject()
+		return false
+	}
+	return true
 }

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/engines"
+	"repro/internal/health"
+	"repro/internal/mvutil"
 	"repro/internal/stm"
 	"repro/internal/trace"
 )
@@ -132,6 +134,33 @@ func TestAllocsTracedReadOnly(t *testing.T) {
 				t.Errorf("traced read-only tx: %.1f allocs/op, budget 0", got)
 			}
 		})
+	}
+}
+
+// TestAllocsWatchdogSample verifies the health watchdog's steady-state
+// sampling path allocates nothing while watching every budgeted engine at
+// full fidelity (stats deltas, clock, active set, budget level). The watchdog
+// exists to observe a system in distress; a sampler that allocates adds GC
+// load exactly when the process is dying of memory pressure.
+func TestAllocsWatchdogSample(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{SoftVersions: 1 << 16, HardVersions: 1 << 17})
+	var targets []health.Target
+	for _, name := range engines.MultiVersionSet() {
+		tm := engines.MustNewBudgeted(name, b, 0)
+		v := tm.NewVar(0)
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			tx.Write(v, 1)
+			return nil
+		})
+		targets = append(targets, health.TargetOf(tm))
+	}
+	w := health.New(health.Config{}, targets...)
+	w.Step() // settle the baselines
+	if got := testing.AllocsPerRun(200, w.Step); got > 0 {
+		t.Errorf("watchdog Step: %.1f allocs/op, budget 0", got)
 	}
 }
 

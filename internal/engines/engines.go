@@ -11,6 +11,7 @@ import (
 	"repro/internal/avstm"
 	"repro/internal/core"
 	"repro/internal/jvstm"
+	"repro/internal/mvutil"
 	"repro/internal/norec"
 	"repro/internal/stm"
 	"repro/internal/tl2"
@@ -59,6 +60,39 @@ func New(name string) (stm.TM, error) {
 // MustNew is New for static names in tests and benchmarks.
 func MustNew(name string) stm.TM {
 	tm, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// MultiVersionSet lists the engines that maintain version chains (and hence
+// accept a version budget), in PaperSet order.
+func MultiVersionSet() []string { return []string{"jvstm", "twm", "twm-notw", "twm-opaque"} }
+
+// NewBudgeted constructs one of the multi-versioned engines with a version
+// budget and trim depth attached (the resource-exhaustion configuration; see
+// DESIGN.md §11). Only the engines in MultiVersionSet support a budget; any
+// other name is an error. A zero maxDepth selects the engine's default trim
+// depth, and one budget may be shared across several engines to cap their
+// combined version memory.
+func NewBudgeted(name string, budget *mvutil.VersionBudget, maxDepth int) (stm.TM, error) {
+	switch name {
+	case "twm":
+		return core.New(core.Options{Budget: budget, MaxVersionDepth: maxDepth}), nil
+	case "twm-notw":
+		return core.New(core.Options{DisableTimeWarp: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
+	case "twm-opaque":
+		return core.New(core.Options{Opacity: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
+	case "jvstm":
+		return jvstm.New(jvstm.Options{Budget: budget, MaxVersionDepth: maxDepth}), nil
+	}
+	return nil, fmt.Errorf("engines: engine %q does not support a version budget (have %v)", name, MultiVersionSet())
+}
+
+// MustNewBudgeted is NewBudgeted for static names in tests and benchmarks.
+func MustNewBudgeted(name string, budget *mvutil.VersionBudget, maxDepth int) stm.TM {
+	tm, err := NewBudgeted(name, budget, maxDepth)
 	if err != nil {
 		panic(err)
 	}

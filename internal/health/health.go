@@ -1,0 +1,416 @@
+// Package health is a liveness watchdog for the STM engines. The engines'
+// own mechanisms (contention management, version GC, the admission gate, the
+// version budget) each defend one failure mode locally; the watchdog is the
+// cross-cutting observer that notices when a mechanism is losing — a snapshot
+// pinned so long that version GC cannot advance, an abort rate that starves
+// commits (livelock), a commit clock that stops moving, a version budget
+// stuck at hard pressure — and says so, through JSON-able snapshots and
+// raise/clear alert callbacks, optionally remediating (see
+// EscalationRemediation).
+//
+// Detection samples only monotone counters and atomics the engines already
+// maintain (stm.Stats, mvutil.ActiveSet, mvutil.VersionBudget, the commit
+// clock), so the steady-state sampling path allocates nothing and perturbs
+// nothing — the watchdog observes a struggling system without adding load to
+// it. Conditions are raised only after RaiseAfter consecutive bad windows and
+// cleared only after ClearAfter consecutive good ones, so one anomalous
+// sample neither raises nor clears anything.
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mvutil"
+	"repro/internal/stm"
+)
+
+// Condition is one failure mode the watchdog detects.
+type Condition uint8
+
+const (
+	// CondLivelock: the abort rate is consuming the engine's throughput —
+	// a window saw at least MinAborts aborts and not a single commit.
+	CondLivelock Condition = iota
+	// CondStuck: the oldest active snapshot lags the clock by at least
+	// StuckClockLag ticks. Version GC cannot advance past that snapshot, so
+	// a stuck (or leaked) transaction turns into unbounded version memory.
+	CondStuck
+	// CondClockStall: attempts are starting but nothing finishes — no
+	// commits and no aborts across a window with starts. Distinct from
+	// livelock (which churns); a stall means transactions are wedged
+	// mid-flight (e.g. spinning on a lock nobody releases).
+	CondClockStall
+	// CondBudget: the version budget reads hard pressure — installs are
+	// being refused (or imminently will be) with stm.ReasonMemoryPressure.
+	CondBudget
+	numConditions
+)
+
+// String returns a short stable label for the condition.
+func (c Condition) String() string {
+	switch c {
+	case CondLivelock:
+		return "livelock"
+	case CondStuck:
+		return "stuck-snapshot"
+	case CondClockStall:
+		return "clock-stall"
+	case CondBudget:
+		return "budget-hard"
+	}
+	return "unknown"
+}
+
+// Target is one observed engine. Any field but Name and Stats may be nil /
+// zero; conditions that need a missing capability are simply not evaluated
+// for that target. Use TargetOf to derive a Target from an engine.
+type Target struct {
+	// Name labels the target in snapshots and alerts.
+	Name string
+	// Stats is the engine's transaction counters (required).
+	Stats *stm.Stats
+	// Clock samples the engine's logical commit clock; nil disables
+	// CondStuck.
+	Clock func() uint64
+	// Active is the engine's in-flight transaction registry; nil disables
+	// CondStuck.
+	Active *mvutil.ActiveSet
+	// Budget is the engine's version budget; nil disables CondBudget.
+	Budget *mvutil.VersionBudget
+}
+
+// Capability interfaces TargetOf probes for. The multi-version engines
+// (internal/core, internal/jvstm) implement all three.
+type (
+	clocked     interface{ Clock() uint64 }
+	activeSeter interface{ ActiveSet() *mvutil.ActiveSet }
+	budgeted    interface{ Budget() *mvutil.VersionBudget }
+)
+
+// TargetOf derives a Target from an engine, probing the optional capabilities
+// (clock, active set, version budget) with interface assertions so any
+// stm.TM can be watched at whatever fidelity it supports.
+func TargetOf(tm stm.TM) Target {
+	t := Target{Name: tm.Name(), Stats: tm.Stats()}
+	if c, ok := tm.(clocked); ok {
+		t.Clock = c.Clock
+	}
+	if a, ok := tm.(activeSeter); ok {
+		t.Active = a.ActiveSet()
+	}
+	if b, ok := tm.(budgeted); ok {
+		t.Budget = b.Budget()
+	}
+	return t
+}
+
+// Alert is one raise or clear transition of a condition on a target.
+type Alert struct {
+	Target string    `json:"target"`
+	Cond   Condition `json:"-"`
+	// Condition is Cond's label (the JSON field; Cond itself is the typed
+	// key callbacks switch on).
+	Condition string `json:"condition"`
+	// Raised is true when the condition entered the active state, false on
+	// the all-clear.
+	Raised bool `json:"raised"`
+	// Detail is a human-readable one-liner with the triggering numbers.
+	Detail string `json:"detail"`
+}
+
+// AlertFunc receives raise/clear transitions. Callbacks run on the sampling
+// goroutine (or the Step caller), after the watchdog's own lock is released,
+// so they may call back into the watchdog or the engines.
+type AlertFunc func(Alert)
+
+// Config tunes detection. The zero value selects every default.
+type Config struct {
+	// SampleEvery is the sampling period of Start (default 100ms).
+	SampleEvery time.Duration
+	// RaiseAfter is how many consecutive bad windows raise a condition
+	// (default 3).
+	RaiseAfter int
+	// ClearAfter is how many consecutive good windows clear an active
+	// condition (default 2).
+	ClearAfter int
+	// MinAborts is the abort count a window must reach before it can count
+	// as a livelock window (default 64); below it a commitless window is
+	// treated as idle, not livelocked.
+	MinAborts uint64
+	// MinStarts is the attempt count a window must reach before it can count
+	// as a clock-stall window (default 1).
+	MinStarts uint64
+	// StuckClockLag is how far (in clock ticks) the oldest active snapshot
+	// may lag the clock before CondStuck trips (default 4096).
+	StuckClockLag uint64
+	// OnAlert are the callbacks invoked on every raise/clear transition.
+	OnAlert []AlertFunc
+}
+
+func (c *Config) fill() {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 100 * time.Millisecond
+	}
+	if c.RaiseAfter <= 0 {
+		c.RaiseAfter = 3
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 2
+	}
+	if c.MinAborts == 0 {
+		c.MinAborts = 64
+	}
+	if c.MinStarts == 0 {
+		c.MinStarts = 1
+	}
+	if c.StuckClockLag == 0 {
+		c.StuckClockLag = 4096
+	}
+}
+
+// condState is the hysteresis state of one condition on one target.
+type condState struct {
+	bad, good int
+	active    bool
+}
+
+// targetState is the per-target sampling state.
+type targetState struct {
+	starts, commits, aborts uint64 // counter values at the previous sample
+	conds                   [numConditions]condState
+}
+
+// Watchdog samples a set of targets and raises/clears condition alerts.
+// Construct with New; drive with Start/Stop (background goroutine) or Step
+// (deterministic tests). All methods are safe for concurrent use.
+type Watchdog struct {
+	cfg     Config
+	targets []Target
+
+	mu     sync.Mutex
+	states []targetState
+	// pending accumulates this step's transitions under mu and is drained
+	// into callbacks after unlocking; the backing array is reused so a
+	// transition-free step allocates nothing.
+	pending []Alert
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+}
+
+// New returns a watchdog over the given targets. Targets cannot be added
+// later; construct a new watchdog instead.
+func New(cfg Config, targets ...Target) *Watchdog {
+	cfg.fill()
+	w := &Watchdog{
+		cfg:     cfg,
+		targets: targets,
+		states:  make([]targetState, len(targets)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Prime the counter baselines so the first Step sees the first window's
+	// deltas rather than process-lifetime totals.
+	for i := range targets {
+		st := &w.states[i]
+		st.starts, st.commits, _, st.aborts = targets[i].Stats.Totals()
+	}
+	return w
+}
+
+// Start launches the sampling goroutine. It may be called at most once; Stop
+// terminates it and waits for it to exit (no goroutine leak).
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		panic("health: Watchdog started twice")
+	}
+	w.started = true
+	w.mu.Unlock()
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(w.cfg.SampleEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.Step()
+			}
+		}
+	}()
+}
+
+// Stop terminates the sampling goroutine and waits for it. Safe to call more
+// than once and without Start.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		<-w.done
+	}
+}
+
+// Step runs one sampling window over every target: read the counters, judge
+// each condition, advance the hysteresis, fire callbacks for transitions.
+// Exported so tests can drive detection deterministically; Start calls it on
+// the sampling period. The transition-free path performs no allocation.
+func (w *Watchdog) Step() {
+	w.mu.Lock()
+	w.pending = w.pending[:0]
+	for i := range w.targets {
+		t := &w.targets[i]
+		st := &w.states[i]
+		starts, commits, _, aborts := t.Stats.Totals()
+		dStarts := starts - st.starts
+		dCommits := commits - st.commits
+		dAborts := aborts - st.aborts
+		st.starts, st.commits, st.aborts = starts, commits, aborts
+
+		w.judge(t, st, CondLivelock,
+			dAborts >= w.cfg.MinAborts && dCommits == 0,
+			"aborts", dAborts, "commits", dCommits)
+
+		w.judge(t, st, CondClockStall,
+			dStarts >= w.cfg.MinStarts && dCommits == 0 && dAborts == 0,
+			"starts", dStarts, "finished", dCommits+dAborts)
+
+		if t.Clock != nil && t.Active != nil {
+			clock := t.Clock()
+			min := t.Active.MinStart(clock)
+			w.judge(t, st, CondStuck,
+				clock-min >= w.cfg.StuckClockLag,
+				"clock", clock, "oldest-snapshot", min)
+		}
+
+		if t.Budget != nil {
+			w.judge(t, st, CondBudget,
+				t.Budget.Level() == mvutil.PressureHard,
+				"versions", uint64(t.Budget.Versions()), "rejects", t.Budget.Rejects())
+		}
+	}
+	fire := w.pending
+	cbs := w.cfg.OnAlert
+	w.mu.Unlock()
+	for _, a := range fire {
+		for _, cb := range cbs {
+			cb(a)
+		}
+	}
+}
+
+// judge advances one condition's hysteresis given this window's verdict and
+// queues an Alert on a raise or clear transition. k1/v1/k2/v2 are the numbers
+// behind the verdict, formatted lazily (only when a transition fires, so the
+// steady state stays allocation-free).
+func (w *Watchdog) judge(t *Target, st *targetState, c Condition, bad bool, k1 string, v1 uint64, k2 string, v2 uint64) {
+	cs := &st.conds[c]
+	if bad {
+		cs.bad++
+		cs.good = 0
+		if !cs.active && cs.bad >= w.cfg.RaiseAfter {
+			cs.active = true
+			w.pending = append(w.pending, Alert{
+				Target: t.Name, Cond: c, Condition: c.String(), Raised: true,
+				Detail: fmt.Sprintf("%s after %d windows (%s=%d %s=%d)", c, cs.bad, k1, v1, k2, v2),
+			})
+		}
+		return
+	}
+	cs.good++
+	cs.bad = 0
+	if cs.active && cs.good >= w.cfg.ClearAfter {
+		cs.active = false
+		w.pending = append(w.pending, Alert{
+			Target: t.Name, Cond: c, Condition: c.String(), Raised: false,
+			Detail: fmt.Sprintf("%s cleared after %d good windows (%s=%d %s=%d)", c, cs.good, k1, v1, k2, v2),
+		})
+	}
+}
+
+// Active reports whether the condition is currently raised on the named
+// target.
+func (w *Watchdog) Active(target string, c Condition) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range w.targets {
+		if w.targets[i].Name == target {
+			return w.states[i].conds[c].active
+		}
+	}
+	return false
+}
+
+// TargetSnapshot is the JSON-able state of one target.
+type TargetSnapshot struct {
+	Name     string                 `json:"name"`
+	Starts   uint64                 `json:"starts"`
+	Commits  uint64                 `json:"commits"`
+	Aborts   uint64                 `json:"aborts"`
+	Clock    uint64                 `json:"clock,omitempty"`
+	MinStart uint64                 `json:"minStart,omitempty"`
+	Budget   *mvutil.BudgetSnapshot `json:"budget,omitempty"`
+	Active   []string               `json:"activeConditions,omitempty"`
+}
+
+// Snapshot is the JSON-able state of the whole watchdog.
+type Snapshot struct {
+	Targets []TargetSnapshot `json:"targets"`
+}
+
+// Snapshot copies the current state for reporting. Unlike Step it allocates
+// (it is the reporting path, not the sampling path).
+func (w *Watchdog) Snapshot() Snapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := Snapshot{Targets: make([]TargetSnapshot, 0, len(w.targets))}
+	for i := range w.targets {
+		t := &w.targets[i]
+		ts := TargetSnapshot{Name: t.Name}
+		ts.Starts, ts.Commits, _, ts.Aborts = t.Stats.Totals()
+		if t.Clock != nil {
+			ts.Clock = t.Clock()
+			if t.Active != nil {
+				ts.MinStart = t.Active.MinStart(ts.Clock)
+			}
+		}
+		if t.Budget != nil {
+			b := t.Budget.Snapshot()
+			ts.Budget = &b
+		}
+		for c := Condition(0); c < numConditions; c++ {
+			if w.states[i].conds[c].active {
+				ts.Active = append(ts.Active, c.String())
+			}
+		}
+		snap.Targets = append(snap.Targets, ts)
+	}
+	return snap
+}
+
+// EscalationRemediation returns an AlertFunc that auto-remediates livelock by
+// clamping the starvation policy's escalation threshold to 1 while the alert
+// is active (every contender serializes after its first abort, draining the
+// livelock) and restoring the configured threshold on the all-clear. Attach
+// it via Config.OnAlert alongside the policy the livelocked transactions run
+// under.
+func EscalationRemediation(p *stm.StarvationPolicy) AlertFunc {
+	return func(a Alert) {
+		if a.Cond != CondLivelock {
+			return
+		}
+		if a.Raised {
+			p.Clamp(1)
+		} else {
+			p.Clamp(0)
+		}
+	}
+}

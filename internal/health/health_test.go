@@ -1,0 +1,246 @@
+package health
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jvstm"
+	"repro/internal/mvutil"
+	"repro/internal/stm"
+	"repro/internal/stm/stmtest"
+)
+
+// collect is a test AlertFunc capturing transitions.
+type collect struct{ alerts []Alert }
+
+func (c *collect) fn(a Alert) { c.alerts = append(c.alerts, a) }
+
+func (c *collect) last() (Alert, bool) {
+	if len(c.alerts) == 0 {
+		return Alert{}, false
+	}
+	return c.alerts[len(c.alerts)-1], true
+}
+
+func TestTargetOf(t *testing.T) {
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{HardVersions: 100})
+	for _, tm := range []stm.TM{
+		core.New(core.Options{Budget: b}),
+		jvstm.New(jvstm.Options{Budget: b}),
+	} {
+		tgt := TargetOf(tm)
+		if tgt.Name != tm.Name() || tgt.Stats == nil {
+			t.Fatalf("%s: bad basic target %+v", tm.Name(), tgt)
+		}
+		if tgt.Clock == nil || tgt.Clock() == 0 {
+			t.Errorf("%s: no clock capability", tm.Name())
+		}
+		if tgt.Active == nil {
+			t.Errorf("%s: no active-set capability", tm.Name())
+		}
+		if tgt.Budget != b {
+			t.Errorf("%s: budget not surfaced", tm.Name())
+		}
+	}
+}
+
+func TestWatchdogLivelock(t *testing.T) {
+	var stats stm.Stats
+	c := &collect{}
+	w := New(Config{RaiseAfter: 2, ClearAfter: 2, MinAborts: 10, OnAlert: []AlertFunc{c.fn}},
+		Target{Name: "t", Stats: &stats})
+
+	abortStorm := func() {
+		for i := 0; i < 20; i++ {
+			stats.RecordStart()
+			stats.RecordAbort(stm.ReasonReadConflict)
+		}
+	}
+	abortStorm()
+	w.Step()
+	if w.Active("t", CondLivelock) {
+		t.Fatal("raised after one bad window (RaiseAfter=2)")
+	}
+	abortStorm()
+	w.Step()
+	if !w.Active("t", CondLivelock) {
+		t.Fatal("not raised after two bad windows")
+	}
+	if a, ok := c.last(); !ok || !a.Raised || a.Cond != CondLivelock || a.Target != "t" {
+		t.Fatalf("bad raise alert %+v", c.alerts)
+	}
+
+	// Commits resume: two good windows clear it.
+	stats.RecordStart()
+	stats.RecordCommit(false)
+	w.Step()
+	if !w.Active("t", CondLivelock) {
+		t.Fatal("cleared after one good window (ClearAfter=2)")
+	}
+	w.Step()
+	if w.Active("t", CondLivelock) {
+		t.Fatal("not cleared after two good windows")
+	}
+	if a, ok := c.last(); !ok || a.Raised || a.Cond != CondLivelock {
+		t.Fatalf("bad clear alert %+v", c.alerts)
+	}
+}
+
+func TestWatchdogHysteresisInterrupted(t *testing.T) {
+	var stats stm.Stats
+	w := New(Config{RaiseAfter: 3, MinAborts: 10}, Target{Name: "t", Stats: &stats})
+	bad := func() {
+		for i := 0; i < 10; i++ {
+			stats.RecordAbort(stm.ReasonReadConflict)
+		}
+	}
+	bad()
+	w.Step()
+	bad()
+	w.Step()
+	stats.RecordCommit(false) // good window resets the bad streak
+	w.Step()
+	bad()
+	w.Step()
+	bad()
+	w.Step()
+	if w.Active("t", CondLivelock) {
+		t.Fatal("raised despite interrupted bad streak")
+	}
+}
+
+func TestWatchdogClockStall(t *testing.T) {
+	var stats stm.Stats
+	w := New(Config{RaiseAfter: 2}, Target{Name: "t", Stats: &stats})
+	for i := 0; i < 2; i++ {
+		stats.RecordStart() // attempts enter, nothing ever finishes
+		w.Step()
+	}
+	if !w.Active("t", CondClockStall) {
+		t.Fatal("clock stall not raised")
+	}
+	// Finishing anything (even an abort) is progress.
+	stats.RecordAbort(stm.ReasonUser)
+	w.Step()
+	w.Step()
+	if w.Active("t", CondClockStall) {
+		t.Fatal("clock stall not cleared")
+	}
+}
+
+func TestWatchdogStuckSnapshot(t *testing.T) {
+	var stats stm.Stats
+	active := mvutil.NewActiveSet()
+	var clock atomic.Uint64
+	clock.Store(1)
+	w := New(Config{RaiseAfter: 2, StuckClockLag: 100, OnAlert: nil},
+		Target{Name: "t", Stats: &stats, Clock: clock.Load, Active: active})
+
+	var pinned mvutil.Slot
+	active.Register(&pinned, 1)
+	clock.Store(500) // snapshot now lags by 499 >= 100
+	w.Step()
+	w.Step()
+	if !w.Active("t", CondStuck) {
+		t.Fatal("stuck snapshot not raised")
+	}
+	active.Unregister(&pinned)
+	w.Step()
+	w.Step()
+	if w.Active("t", CondStuck) {
+		t.Fatal("stuck snapshot not cleared after unpin")
+	}
+}
+
+func TestWatchdogBudget(t *testing.T) {
+	var stats stm.Stats
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{SoftVersions: 5, HardVersions: 10})
+	w := New(Config{RaiseAfter: 2}, Target{Name: "t", Stats: &stats, Budget: b})
+	b.Install(11, 0)
+	w.Step()
+	w.Step()
+	if !w.Active("t", CondBudget) {
+		t.Fatal("budget pressure not raised")
+	}
+	snap := w.Snapshot()
+	if len(snap.Targets) != 1 || snap.Targets[0].Budget == nil ||
+		snap.Targets[0].Budget.Level != "hard" || len(snap.Targets[0].Active) == 0 {
+		t.Fatalf("snapshot misses budget state: %+v", snap)
+	}
+	b.Release(8, 0)
+	w.Step()
+	w.Step()
+	if w.Active("t", CondBudget) {
+		t.Fatal("budget pressure not cleared")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	tm := core.New(core.Options{Budget: mvutil.NewVersionBudget(mvutil.BudgetConfig{HardVersions: 64})})
+	v := stm.NewTVar(tm, 0)
+	if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+		v.Set(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := New(Config{}, TargetOf(tm))
+	w.Step()
+	out, err := json.Marshal(w.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"twm"`, `"commits":1`, `"budget"`, `"clock"`} {
+		if !containsStr(string(out), want) {
+			t.Errorf("snapshot JSON missing %s: %s", want, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWatchdogStartStopNoLeak(t *testing.T) {
+	stmtest.CheckGoroutines(t)
+	var stats stm.Stats
+	w := New(Config{SampleEvery: time.Millisecond}, Target{Name: "t", Stats: &stats})
+	w.Start()
+	time.Sleep(10 * time.Millisecond)
+	w.Stop()
+	w.Stop() // idempotent
+}
+
+func TestWatchdogStopWithoutStart(t *testing.T) {
+	w := New(Config{}, Target{Name: "t", Stats: new(stm.Stats)})
+	w.Stop() // must not hang
+}
+
+func TestEscalationRemediation(t *testing.T) {
+	p := stm.NewStarvationPolicy(8, nil)
+	var stats stm.Stats
+	w := New(Config{RaiseAfter: 1, ClearAfter: 1, MinAborts: 5,
+		OnAlert: []AlertFunc{EscalationRemediation(p)}},
+		Target{Name: "t", Stats: &stats})
+
+	for i := 0; i < 5; i++ {
+		stats.RecordAbort(stm.ReasonTriad)
+	}
+	w.Step()
+	if got := p.Clamped(); got != 1 {
+		t.Fatalf("Clamped = %d after livelock raise, want 1", got)
+	}
+	stats.RecordCommit(false)
+	w.Step()
+	if got := p.Clamped(); got != 0 {
+		t.Fatalf("Clamped = %d after all-clear, want 0", got)
+	}
+}

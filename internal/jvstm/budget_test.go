@@ -1,0 +1,132 @@
+package jvstm_test
+
+import (
+	"testing"
+
+	"repro/internal/jvstm"
+	"repro/internal/mvutil"
+	"repro/internal/stm"
+)
+
+// TestBudgetSoftGCEager mirrors the core test: past the soft limit, commits
+// trigger eager GC (automatic GC is disabled, so the budget is the only
+// collector) and version memory stabilizes.
+func TestBudgetSoftGCEager(t *testing.T) {
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{SoftVersions: 8, HardVersions: 10_000})
+	tm := jvstm.New(jvstm.Options{GCEveryNCommits: -1, Budget: b})
+	v := stm.NewTVar(tm, 0)
+	for i := 0; i < 50; i++ {
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.SoftGCs() == 0 {
+		t.Fatal("no eager GC pass ran past the soft limit")
+	}
+	if got := b.Versions(); got > 9 {
+		t.Fatalf("version memory did not stabilize: %d live versions (soft limit 8)", got)
+	}
+	if b.Trims() != 0 || b.Rejects() != 0 {
+		t.Fatalf("soft pressure escalated to trim/reject: %+v", b.Snapshot())
+	}
+}
+
+// TestBudgetHardTrimRevokesPinnedReader: with GC blocked by a pinned old
+// snapshot, hard pressure trims chains; the pinned reader's next read
+// restarts with ReasonMemoryPressure while fresh snapshots are served.
+func TestBudgetHardTrimRevokesPinnedReader(t *testing.T) {
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{SoftVersions: 4, HardVersions: 8})
+	tm := jvstm.New(jvstm.Options{GCEveryNCommits: -1, Budget: b, MaxVersionDepth: 2})
+	v := stm.NewTVar(tm, 0)
+
+	ro := tm.Begin(true) // pin the initial snapshot
+
+	for i := 0; i < 30; i++ {
+		if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Trims() == 0 {
+		t.Fatalf("hard pressure never trimmed: %+v", b.Snapshot())
+	}
+	if got := tm.VersionCount(v.Raw()); got > 9 {
+		t.Fatalf("chain depth %d despite hard limit 8", got)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pinned read-only transaction read a trimmed chain without restarting")
+			}
+		}()
+		ro.Read(v.Raw())
+	}()
+	tm.Abort(ro)
+	if got := tm.Stats().Snapshot().ByReason[stm.ReasonMemoryPressure.String()]; got == 0 {
+		t.Fatal("memory-pressure abort not recorded")
+	}
+
+	var got int
+	if err := stm.Atomically(tm, true, func(tx stm.Tx) error {
+		got = v.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("recovered read = %d, want 30", got)
+	}
+}
+
+// TestBudgetHardReject: trimming cannot get below the hard limit when the
+// per-variable floor exceeds it, so installs are refused; releasing the
+// pinned snapshot restores full service.
+func TestBudgetHardReject(t *testing.T) {
+	b := mvutil.NewVersionBudget(mvutil.BudgetConfig{SoftVersions: 4, HardVersions: 8})
+	tm := jvstm.New(jvstm.Options{GCEveryNCommits: -1, Budget: b, MaxVersionDepth: 4})
+	vars := make([]*stm.TVar[int], 4)
+	for i := range vars {
+		vars[i] = stm.NewTVar(tm, 0)
+	}
+
+	ro := tm.Begin(true) // pin
+
+	var rejected stm.Tx
+	for i := 0; i < 10; i++ {
+		tx := tm.Begin(false)
+		for _, v := range vars {
+			tx.Write(v.Raw(), i)
+		}
+		if !tm.Commit(tx) {
+			rejected = tx
+			break
+		}
+	}
+	if rejected == nil {
+		t.Fatalf("no commit was refused under blocked-GC hard pressure: %+v", b.Snapshot())
+	}
+	if got := rejected.(stm.AbortReasoner).LastAbortReason(); got != stm.ReasonMemoryPressure {
+		t.Fatalf("reject reason = %v, want memory-pressure", got)
+	}
+	if b.Rejects() == 0 {
+		t.Fatal("reject not counted in the budget")
+	}
+
+	tm.Abort(ro)
+	tx := tm.Begin(false)
+	for _, v := range vars {
+		tx.Write(v.Raw(), 99)
+	}
+	if !tm.Commit(tx) {
+		t.Fatalf("commit still refused after pin release: %+v", b.Snapshot())
+	}
+	if lvl := b.Level(); lvl == mvutil.PressureHard {
+		t.Fatalf("level = %v after recovery", lvl)
+	}
+}

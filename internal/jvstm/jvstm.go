@@ -29,11 +29,21 @@ type Options struct {
 	GCEveryNCommits int
 	// LockSpinBudget bounds spinning on a peer's commit lock.
 	LockSpinBudget int
+	// Budget, when non-nil, caps the engine's version memory exactly as in
+	// internal/core (see mvutil.VersionBudget and DESIGN.md §11): soft
+	// pressure triggers eager GC, hard pressure trims chains to
+	// MaxVersionDepth and, as a last resort, fails commits with
+	// stm.ReasonMemoryPressure. Nil leaves version memory unbounded.
+	Budget *mvutil.VersionBudget
+	// MaxVersionDepth is the per-variable chain depth the hard-pressure trim
+	// cuts to. 0 selects the default; only consulted when Budget is set.
+	MaxVersionDepth int
 }
 
 const (
 	defaultGCEvery   = 4096
 	defaultSpinLimit = 2048
+	defaultTrimDepth = 8
 )
 
 // TM is a JVSTM instance.
@@ -63,6 +73,9 @@ func New(opts Options) *TM {
 	if opts.LockSpinBudget == 0 {
 		opts.LockSpinBudget = defaultSpinLimit
 	}
+	if opts.MaxVersionDepth <= 0 {
+		opts.MaxVersionDepth = defaultTrimDepth
+	}
 	tm := &TM{opts: opts}
 	tm.clock.Store(1)
 	tm.active = mvutil.NewActiveSet()
@@ -81,6 +94,15 @@ func (tm *TM) Stats() *stm.Stats { return &tm.stats }
 
 // SetProfiler implements stm.Profilable.
 func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
+
+// Clock exposes the current commit clock value (health watchdog, tests).
+func (tm *TM) Clock() uint64 { return tm.clock.Load() }
+
+// ActiveSet exposes the active-transaction registry (health watchdog).
+func (tm *TM) ActiveSet() *mvutil.ActiveSet { return tm.active }
+
+// Budget exposes the configured version budget; nil when unbounded.
+func (tm *TM) Budget() *mvutil.VersionBudget { return tm.opts.Budget }
 
 // jversion is one committed value (a JVSTM "body").
 type jversion struct {
@@ -106,6 +128,11 @@ func (v *jvar) VarID() uint64 { return v.id }
 func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	v := &jvar{}
 	v.head.Store(&jversion{value: initial})
+	if b := tm.opts.Budget; b != nil {
+		// The initial version is charged too: GC may free it once newer
+		// versions exist, and releases must balance installs.
+		b.Install(1, mvutil.ApproxVersionBytes(initial))
+	}
 	tm.varsMu.Lock()
 	v.id = uint64(len(tm.vars)) + 1
 	tm.vars = append(tm.vars, v)
@@ -207,6 +234,15 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 	ver := tv.head.Load()
 	for ver.ver > tx.start {
 		ver = ver.next.Load()
+		if ver == nil {
+			// A hard-pressure trim reclaimed the version this snapshot needs
+			// (trim only cuts a chain suffix, so a walk that terminates
+			// normally saw everything it would have pre-trim). Restart with a
+			// fresh snapshot, which the trim depth always serves — the one
+			// documented case where a read-only transaction aborts.
+			tx.stats.RecordAbort(stm.ReasonMemoryPressure)
+			stm.Retry(stm.ReasonMemoryPressure)
+		}
 	}
 	if prof != nil {
 		prof.AddRead(prof.Now() - t0)
@@ -245,6 +281,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		tx.stats.RecordCommit(tx.readOnly)
 		return true
 	}
+
+	// Version-memory backpressure: before taking any commit lock, make sure
+	// the budget can absorb this transaction's installs (see admitInstall).
+	if tm.opts.Budget != nil && !tm.admitInstall() {
+		return tx.failCommit(stm.ReasonMemoryPressure)
+	}
+
 	prof := tm.prof.Load()
 	var t0 int64
 	if prof != nil {
@@ -300,6 +343,9 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		nv := &jversion{value: val, ver: wv}
 		nv.next.Store(v.head.Load())
 		v.head.Store(nv)
+		if b := tm.opts.Budget; b != nil {
+			b.Install(1, mvutil.ApproxVersionBytes(val))
+		}
 		if tm.history.Load() {
 			v.histMu.Lock()
 			v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: wv})
@@ -363,27 +409,119 @@ func (tm *TM) maybeGC() {
 func (tm *TM) GC() int {
 	tm.gcMu.Lock()
 	defer tm.gcMu.Unlock()
+	return tm.gcLocked()
+}
+
+// gcLocked is the collection pass body; the caller holds gcMu.
+func (tm *TM) gcLocked() int {
 	bound := tm.active.MinStart(tm.clock.Load())
 	tm.varsMu.Lock()
 	vars := tm.vars
 	tm.varsMu.Unlock()
 
 	freed := 0
+	var freedBytes int64
 	for _, v := range vars {
 		if !v.owner.CompareAndSwap(nil, gcOwner) {
 			continue
 		}
 		ver := v.head.Load()
 		for ver.ver > bound {
-			ver = ver.next.Load()
+			next := ver.next.Load()
+			if next == nil {
+				// A trim pass already cut below the version visible at bound.
+				break
+			}
+			ver = next
 		}
 		for tail := ver.next.Load(); tail != nil; tail = tail.next.Load() {
 			freed++
+			freedBytes += mvutil.ApproxVersionBytes(tail.value)
 		}
 		ver.next.Store(nil)
 		v.owner.CompareAndSwap(gcOwner, nil)
 	}
+	if b := tm.opts.Budget; b != nil && freed > 0 {
+		b.Release(int64(freed), freedBytes)
+	}
 	return freed
+}
+
+// trimLocked cuts every variable's chain to at most depth versions, newest
+// first; the caller holds gcMu. It ignores the active-snapshot bound, so it
+// may free versions an in-flight transaction still needs — those restart with
+// stm.ReasonMemoryPressure when their read walk reaches the shortened end
+// (the hard-pressure degradation; see DESIGN.md §11).
+func (tm *TM) trimLocked(depth int) int {
+	if depth < 1 {
+		depth = 1
+	}
+	tm.varsMu.Lock()
+	vars := tm.vars
+	tm.varsMu.Unlock()
+
+	freed := 0
+	var freedBytes int64
+	for _, v := range vars {
+		if !v.owner.CompareAndSwap(nil, gcOwner) {
+			continue
+		}
+		ver := v.head.Load()
+		for i := 1; i < depth; i++ {
+			next := ver.next.Load()
+			if next == nil {
+				break
+			}
+			ver = next
+		}
+		for tail := ver.next.Load(); tail != nil; tail = tail.next.Load() {
+			freed++
+			freedBytes += mvutil.ApproxVersionBytes(tail.value)
+		}
+		ver.next.Store(nil)
+		v.owner.CompareAndSwap(gcOwner, nil)
+	}
+	if b := tm.opts.Budget; b != nil && freed > 0 {
+		b.Release(int64(freed), freedBytes)
+	}
+	return freed
+}
+
+// admitInstall enforces the version budget before a commit may install new
+// versions, mirroring internal/core: soft pressure triggers an eager
+// non-blocking GC pass, hard pressure runs a blocking pass, then trims every
+// chain to MaxVersionDepth, and when even trimming leaves the budget above
+// its hard limit the install is refused. It runs before any commit lock is
+// taken and reports whether the commit may proceed.
+func (tm *TM) admitInstall() bool {
+	b := tm.opts.Budget
+	switch b.Level() {
+	case mvutil.PressureNone:
+		return true
+	case mvutil.PressureSoft:
+		if tm.gcMu.TryLock() {
+			tm.gcLocked()
+			tm.gcMu.Unlock()
+			b.NoteSoftGC()
+		}
+		return true
+	}
+	tm.gcMu.Lock()
+	if b.Level() == mvutil.PressureHard {
+		tm.gcLocked()
+		b.NoteSoftGC()
+	}
+	if b.Level() == mvutil.PressureHard {
+		tm.trimLocked(tm.opts.MaxVersionDepth)
+		b.NoteTrim()
+	}
+	level := b.Level()
+	tm.gcMu.Unlock()
+	if level == mvutil.PressureHard {
+		b.NoteReject()
+		return false
+	}
+	return true
 }
 
 // VersionCount returns the live version count of v (tests).

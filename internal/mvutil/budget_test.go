@@ -1,0 +1,117 @@
+package mvutil
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestBudgetLevels(t *testing.T) {
+	b := NewVersionBudget(BudgetConfig{SoftVersions: 4, HardVersions: 8})
+	if got := b.Level(); got != PressureNone {
+		t.Fatalf("empty budget level = %v", got)
+	}
+	b.Install(4, 100)
+	if got := b.Level(); got != PressureNone {
+		t.Fatalf("at soft limit level = %v (limits are exclusive)", got)
+	}
+	b.Install(1, 10)
+	if got := b.Level(); got != PressureSoft {
+		t.Fatalf("past soft level = %v", got)
+	}
+	b.Install(4, 10)
+	if got := b.Level(); got != PressureHard {
+		t.Fatalf("past hard level = %v", got)
+	}
+	b.Release(6, 60)
+	if got := b.Level(); got != PressureNone {
+		t.Fatalf("after release level = %v (count %d)", got, b.Versions())
+	}
+}
+
+func TestBudgetByteAxis(t *testing.T) {
+	b := NewVersionBudget(BudgetConfig{SoftBytes: 1000, HardBytes: 2000})
+	b.Install(1, 1500)
+	if got := b.Level(); got != PressureSoft {
+		t.Fatalf("byte soft level = %v", got)
+	}
+	b.Install(1, 1000)
+	if got := b.Level(); got != PressureHard {
+		t.Fatalf("byte hard level = %v", got)
+	}
+	// The worse axis wins when both are configured.
+	b2 := NewVersionBudget(BudgetConfig{SoftVersions: 100, HardVersions: 200, SoftBytes: 10, HardBytes: 20})
+	b2.Install(1, 50)
+	if got := b2.Level(); got != PressureHard {
+		t.Fatalf("mixed-axis level = %v, want hard from byte axis", got)
+	}
+}
+
+func TestBudgetZeroLimitsDisabled(t *testing.T) {
+	b := NewVersionBudget(BudgetConfig{})
+	b.Install(1<<40, 1<<50)
+	if got := b.Level(); got != PressureNone {
+		t.Fatalf("unlimited budget level = %v", got)
+	}
+}
+
+func TestBudgetInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("soft above hard must panic")
+		}
+	}()
+	NewVersionBudget(BudgetConfig{SoftVersions: 10, HardVersions: 5})
+}
+
+func TestBudgetSnapshotJSON(t *testing.T) {
+	b := NewVersionBudget(BudgetConfig{SoftVersions: 1, HardVersions: 2})
+	b.Install(3, 300)
+	b.NoteSoftGC()
+	b.NoteTrim()
+	b.NoteReject()
+	snap := b.Snapshot()
+	if snap.Versions != 3 || snap.Level != "hard" || snap.SoftGCs != 1 || snap.Trims != 1 || snap.Rejects != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-able: %v", err)
+	}
+}
+
+// TestBudgetConcurrent installs and releases from many goroutines and checks
+// the ledger balances (race-clean accounting).
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewVersionBudget(BudgetConfig{SoftVersions: 1000, HardVersions: 2000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Install(2, 128)
+				_ = b.Level()
+				b.Release(2, 128)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Versions() != 0 || b.Bytes() != 0 {
+		t.Fatalf("ledger unbalanced: %d versions, %d bytes", b.Versions(), b.Bytes())
+	}
+}
+
+func TestApproxVersionBytes(t *testing.T) {
+	if got := ApproxVersionBytes(nil); got != 64 {
+		t.Fatalf("nil = %d", got)
+	}
+	if got := ApproxVersionBytes("hello"); got != 69 {
+		t.Fatalf("string = %d", got)
+	}
+	if got := ApproxVersionBytes(make([]byte, 100)); got != 164 {
+		t.Fatalf("bytes = %d", got)
+	}
+	if got := ApproxVersionBytes(42); got != 80 {
+		t.Fatalf("int = %d", got)
+	}
+}

@@ -42,6 +42,16 @@ const (
 	// ReasonChaos: a fault injected by the internal/chaos middleware (spurious
 	// abort or forced commit failure). Never produced by a real engine.
 	ReasonChaos
+	// ReasonMemoryPressure: the version-memory budget is exhausted — a
+	// multi-versioned engine refused a version install at the hard limit, or a
+	// read walked into a region of a version chain the budget's trim pass had
+	// already reclaimed. Only produced when a VersionBudget is configured.
+	ReasonMemoryPressure
+	// ReasonOverload: an admission gate refused entry (OverloadError). The
+	// retry loop records it into the engine's stats so saturation shows up in
+	// the retries-by-reason histogram; no engine ever produces it and no
+	// attempt ran.
+	ReasonOverload
 
 	numAbortReasons
 )
@@ -67,6 +77,10 @@ func (r AbortReason) String() string {
 		return "user"
 	case ReasonChaos:
 		return "chaos"
+	case ReasonMemoryPressure:
+		return "memory-pressure"
+	case ReasonOverload:
+		return "overload"
 	}
 	return "unknown"
 }
@@ -124,14 +138,32 @@ type AbortReasoner interface {
 // the Backoff type). AtomicallyCM plugs in a different contention-management
 // policy; AtomicallyCtx bounds the retry loop with a context.
 func Atomically(tm TM, readOnly bool, fn func(Tx) error) error {
-	return run(nil, tm, readOnly, nil, fn)
+	return run(nil, tm, readOnly, nil, nil, fn)
 }
 
-// run is the shared retry loop behind Atomically, AtomicallyCtx and
-// AtomicallyCM. ctx and cm may both be nil; with a nil cm the loop uses the
-// built-in Backoff schedule inline (no interface calls, no allocation — the
-// hot path of every benchmark).
-func run(ctx context.Context, tm TM, readOnly bool, cm ContentionManager, fn func(Tx) error) error {
+// run is the shared retry loop behind Atomically, AtomicallyCtx, AtomicallyCM
+// and AtomicallyGated. ctx, gate and cm may all be nil; with a nil cm the loop
+// uses the built-in Backoff schedule inline (no interface calls, no
+// allocation — the hot path of every benchmark).
+//
+// A non-nil gate admits the call before the first attempt and holds the slot
+// until the call finishes (commit, user error, or cancellation) — retries and
+// backoff happen inside the slot, so saturation queues new update work at the
+// door instead of multiplying in-flight contenders. Read-only transactions
+// bypass the gate: they hold no locks and (on the multi-versioned engines)
+// never abort, so they are not what an abort storm is made of.
+func run(ctx context.Context, tm TM, readOnly bool, gate *AdmissionGate, cm ContentionManager, fn func(Tx) error) error {
+	if gate != nil && !readOnly {
+		if err := gate.Acquire(ctx); err != nil {
+			if _, ok := err.(*OverloadError); ok {
+				// Surface the shed load in the engine's histogram: an
+				// overload is a transaction the system refused to run.
+				tm.Stats().RecordAbort(ReasonOverload)
+			}
+			return err
+		}
+		defer gate.Release()
+	}
 	rec, _ := tm.(TxRecycler)
 	var bo Backoff
 	for attempt := 1; ; attempt++ {

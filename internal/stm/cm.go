@@ -105,6 +105,14 @@ var reasonClasses = [numAbortReasons]reasonClass{
 	ReasonTimeWarpSkip:  {yields: 1, baseNS: 1 << 11, maxShift: 11},
 	ReasonLockTimeout:   {yields: 0, baseNS: 1 << 13, maxShift: 9},
 	ReasonUser:          {yields: 0, baseNS: 1 << 12, maxShift: 13},
+	// Memory pressure means the budget's GC and trim passes could not free
+	// enough: only draining in-flight snapshots (so the GC bound advances)
+	// relieves it. Sleep immediately with a wide, patient window — spinning
+	// re-runs a GC pass that just failed.
+	ReasonMemoryPressure: {yields: 0, baseNS: 1 << 14, maxShift: 10},
+	// Overload never reaches Wait (the gate refuses before any attempt runs);
+	// the entry exists so the schedule table stays total over the reasons.
+	ReasonOverload: {yields: 2, baseNS: 1 << 10, maxShift: 10},
 }
 
 type reasonCM struct {
@@ -169,6 +177,10 @@ type StarvationPolicy struct {
 	token sync.RWMutex
 	// escalations counts calls that crossed the threshold (observability).
 	escalations atomic.Uint64
+	// clamp is an externally imposed override of K (see Clamp): the health
+	// watchdog's livelock remediation tightens the escalation threshold while
+	// an alert is active and restores it on the all-clear.
+	clamp atomic.Int32
 }
 
 // NewStarvationPolicy returns a policy escalating after k aborted attempts
@@ -179,11 +191,34 @@ func NewStarvationPolicy(k int, inner Policy) *StarvationPolicy {
 }
 
 func (p *StarvationPolicy) threshold() int {
+	if c := p.clamp.Load(); c > 0 {
+		return int(c)
+	}
 	if p.K > 0 {
 		return p.K
 	}
 	return 8
 }
+
+// Clamp overrides the escalation threshold K process-wide until cleared:
+// calls escalate after k aborted attempts regardless of the configured K.
+// k <= 0 removes the override. It is safe to call concurrently with running
+// transactions; in-flight calls observe the new threshold on their next
+// abort. The health watchdog's livelock remediation uses it to serialize
+// contenders aggressively (k = 1) while an alert is active.
+func (p *StarvationPolicy) Clamp(k int) {
+	if k <= 0 {
+		p.clamp.Store(0)
+		return
+	}
+	if k > 1<<30 {
+		k = 1 << 30
+	}
+	p.clamp.Store(int32(k))
+}
+
+// Clamped reports the active override (0 when none).
+func (p *StarvationPolicy) Clamped() int { return int(p.clamp.Load()) }
 
 // Escalations reports how many calls have escalated to the serialization
 // token so far.

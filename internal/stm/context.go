@@ -40,7 +40,7 @@ func (e *CancelledError) Unwrap() error { return e.Err }
 // Use it for request-scoped work where livelock under pathological
 // contention must be bounded by a deadline rather than by backoff alone.
 func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error) error {
-	return run(ctx, tm, readOnly, nil, fn)
+	return run(ctx, tm, readOnly, nil, nil, fn)
 }
 
 // AtomicallyCM is Atomically with an explicit contention-management policy
@@ -54,8 +54,27 @@ func AtomicallyCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error)
 // need a custom policy.
 func AtomicallyCM(ctx context.Context, tm TM, readOnly bool, p Policy, fn func(Tx) error) error {
 	var cm ContentionManager
+	var gate *AdmissionGate
+	if p != nil {
+		cm = p.NewManager()
+		if a, ok := p.(Admitter); ok {
+			gate = a.AdmissionGate()
+		}
+	}
+	return run(ctx, tm, readOnly, gate, cm, fn)
+}
+
+// AtomicallyGated is AtomicallyCM with an explicit admission gate: the call is
+// admitted through g before its first attempt and occupies one gate slot until
+// it finishes. When g is saturated the call waits boundedly and gives up with
+// a *OverloadError (or a *CancelledError when ctx is cancelled first), so
+// saturation becomes backpressure at the door instead of an abort storm
+// inside the engine. Read-only calls bypass the gate. A nil g, p and ctx
+// reduce to plain Atomically.
+func AtomicallyGated(ctx context.Context, tm TM, readOnly bool, g *AdmissionGate, p Policy, fn func(Tx) error) error {
+	var cm ContentionManager
 	if p != nil {
 		cm = p.NewManager()
 	}
-	return run(ctx, tm, readOnly, cm, fn)
+	return run(ctx, tm, readOnly, g, cm, fn)
 }

@@ -73,6 +73,20 @@ func (s *Stats) RecordCommit(readOnly bool) { s.shards[0].RecordCommit(readOnly)
 // paths).
 func (s *Stats) RecordAbort(reason AbortReason) { s.shards[0].RecordAbort(reason) }
 
+// Totals sums the shards without allocating (Snapshot builds a map). The
+// health watchdog samples through it on its steady-state path, which is
+// pinned at 0 allocs/op.
+func (s *Stats) Totals() (starts, commits, roCommits, aborts uint64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		starts += sh.starts.Load()
+		commits += sh.commits.Load()
+		roCommits += sh.roCommits.Load()
+		aborts += sh.aborts.Load()
+	}
+	return
+}
+
 // Snapshot is a consistent-enough copy of the counters for reporting.
 type Snapshot struct {
 	Starts    uint64

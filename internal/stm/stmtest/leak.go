@@ -1,0 +1,46 @@
+package stmtest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a cleanup that
+// fails the test when goroutines outlive it. Engines, the admission gate and
+// the health watchdog all promise not to leak background goroutines; the
+// conformance battery and the watchdog tests hold them to it.
+//
+// Goroutines wind down asynchronously (timer callbacks, pool cleaners), so the
+// cleanup polls with backoff for up to two seconds before declaring a leak,
+// and dumps all stacks on failure so the culprit is identifiable.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n > base {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			// The testing runtime's own goroutines show up in the dump;
+			// trim obviously uninteresting stacks to keep failures readable.
+			var kept []string
+			for _, s := range strings.Split(string(buf), "\n\n") {
+				if strings.Contains(s, "testing.") || strings.Contains(s, "runtime.goexit") && !strings.Contains(s, "repro/") {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			t.Errorf("goroutine leak: %d alive, started with %d\n%s", n, base, strings.Join(kept, "\n\n"))
+		}
+	})
+}

@@ -27,6 +27,7 @@ type Options struct {
 
 // Run executes the whole conformance battery against fresh TMs from factory.
 func Run(t *testing.T, factory func() stm.TM, opts Options) {
+	CheckGoroutines(t)
 	t.Run("SequentialBasics", func(t *testing.T) { sequentialBasics(t, factory()) })
 	t.Run("ReadYourWrites", func(t *testing.T) { readYourWrites(t, factory()) })
 	t.Run("IsolationUncommitted", func(t *testing.T) { isolationUncommitted(t, factory()) })
