@@ -17,6 +17,8 @@
 //	summary    Fig. 5(a)-(h) + Fig. 5(i) + Table 2 (all applications)
 //	pressure   resource-exhaustion: stabilize/degrade/recover under a
 //	           version budget, with admission gating and watchdog alerts
+//	readscale  read-path scalability: read-dominated IntSet sweep over
+//	           goroutine counts, emitting BENCH_readscale.json (-json)
 //	all        everything above
 //
 // Flags select engines, thread counts, per-cell duration for the
@@ -55,6 +57,7 @@ func run(args []string) error {
 	yieldEvery := fs.Int("yield-every", 1, "inject a scheduler yield after every N-th transactional barrier to simulate multi-core overlap on few cores (0 disables)")
 	zipf := fs.Float64("zipf", 0, "Zipf skew for the tree experiment (0 = uniform)")
 	csvPath := fs.String("csv", "", "also append machine-readable results to this CSV file")
+	jsonPath := fs.String("json", "BENCH_readscale.json", "output path for the readscale JSON artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,6 +134,34 @@ func run(args []string) error {
 	case "pressure":
 		res, err := bench.PressureFigure(out, cfg, bench.DefaultPressure())
 		return emit("pressure", res, err)
+	case "readscale":
+		rs := bench.DefaultReadScaling()
+		if *scale == "small" {
+			rs = bench.ReadScalingConfig{Elements: 200, KeyRange: 400, UpdatePct: 0.05, Seed: *seed}
+		}
+		if *threadList == "1,4,8,16,32,64" { // default axis: use the readscale sweep
+			cfg.Threads = bench.ReadScalingThreads()
+		}
+		res, err := bench.ReadScaleFigure(out, cfg, rs)
+		if err != nil {
+			return err
+		}
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			art := bench.NewReadScaleArtifact(cfg, rs, res)
+			if err := art.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d cells)\n", *jsonPath, len(art.Cells))
+		}
+		return emit("readscale", res, nil)
 	case "all":
 		if res, err := bench.Fig3SkipList(out, cfg, sl); emit("fig3-skiplist", res, err) != nil {
 			return err

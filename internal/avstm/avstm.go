@@ -79,6 +79,9 @@ type TM struct {
 
 	// txns pools transaction descriptors across attempts; see Recycle.
 	txns sync.Pool
+	// regSeq deals out sticky home shards for the striped reader registries,
+	// one per descriptor lifetime (see registry.go).
+	regSeq atomic.Uint32
 
 	varID   atomic.Uint64
 	history atomic.Bool
@@ -87,7 +90,13 @@ type TM struct {
 // New returns an AVSTM instance.
 func New() *TM {
 	tm := &TM{}
-	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
+	tm.txns.New = func() any {
+		return &txn{
+			tm:       tm,
+			stats:    tm.stats.Shard(),
+			regShard: int(tm.regSeq.Add(1)) & (regShards - 1),
+		}
+	}
 	return tm
 }
 
@@ -101,14 +110,14 @@ func (tm *TM) Stats() *stm.Stats { return &tm.stats }
 func (tm *TM) SetProfiler(p *stm.Profiler) { tm.prof.Store(p) }
 
 // avar is the transactional variable: a single version plus timestamps and
-// the visible-reader registry.
+// the striped visible-reader registry (registry.go).
 type avar struct {
 	id      uint64
-	mu      sync.Mutex
+	mu      sync.Mutex // guards value, wts, rts, hist
 	value   stm.Value
 	wts     uint64 // serialization point of the last writer
 	rts     uint64 // max serialization point of committed readers
-	readers map[*txn]struct{}
+	readers readerRegistry
 
 	hist []stm.VersionRecord // guarded by mu
 }
@@ -116,9 +125,8 @@ type avar struct {
 // NewVar implements stm.TM.
 func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	return &avar{
-		id:      tm.varID.Add(1),
-		value:   initial,
-		readers: make(map[*txn]struct{}),
+		id:    tm.varID.Add(1),
+		value: initial,
 	}
 }
 
@@ -136,7 +144,12 @@ type txn struct {
 	ub   uint64     // exclusive upper bound; noUpperBound = +inf
 	done bool       // finalized: clamps are no-ops
 
-	readSet  []*avar
+	// regShard is the sticky home shard this descriptor registers reads in
+	// (see registry.go); free is its pooled node list.
+	regShard int
+	free     *readerNode
+
+	readSet  []*readerNode // one registration per read variable
 	writeSet stm.WriteSet[*avar]
 
 	lastReason stm.AbortReason // why the last Commit returned false
@@ -218,13 +231,14 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 			return val
 		}
 	}
+	// Register BEFORE reading value/wts: the ordering the striped registry's
+	// soundness argument depends on (see registry.go).
+	if n := tv.readers.register(tx, tv); n != nil {
+		tx.readSet = append(tx.readSet, n)
+	}
 	tv.mu.Lock()
 	val := tv.value
 	wts := tv.wts
-	if _, ok := tv.readers[tx]; !ok {
-		tv.readers[tx] = struct{}{}
-		tx.readSet = append(tx.readSet, tv)
-	}
 	tv.mu.Unlock()
 	ok := tx.raiseLB(wts)
 	if prof != nil {
@@ -246,12 +260,12 @@ func (tx *txn) Write(v stm.Var, val stm.Value) {
 	tx.writeSet.Put(v.(*avar), val)
 }
 
-// deregister removes the transaction from every reader registry it joined.
+// deregister removes the transaction from every reader registry it joined,
+// returning the nodes to the descriptor's pool.
 func (tx *txn) deregister() {
-	for _, v := range tx.readSet {
-		v.mu.Lock()
-		delete(v.readers, tx)
-		v.mu.Unlock()
+	for _, n := range tx.readSet {
+		n.v.readers.unlink(n)
+		tx.freeNode(n)
 	}
 	tx.readSet = tx.readSet[:0]
 }
@@ -293,13 +307,15 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		tx.done = true
 		tx.mu.Unlock()
 		if ok {
-			for _, v := range tx.readSet {
+			for _, n := range tx.readSet {
+				v := n.v
 				v.mu.Lock()
 				if p > v.rts {
 					v.rts = p
 				}
-				delete(v.readers, tx)
 				v.mu.Unlock()
+				v.readers.unlink(n)
+				tx.freeNode(n)
 			}
 			tx.readSet = tx.readSet[:0]
 		}
@@ -355,24 +371,22 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		return false
 	}
 
-	// Clamp every still-active reader of the variables we overwrite (they
-	// must serialize before p), then publish. Clamp and write-back happen
-	// under the same per-variable mutex, so a reader either registered in
-	// time to be clamped or observes the new value and timestamp.
+	// Publish, then clamp every still-active reader of the variables we
+	// overwrite (they must serialize before p). Publication must precede the
+	// clamp walk: a reader registers before reading value/wts, so one that
+	// the walk misses provably read the published value (and raised its lb to
+	// p), while any reader of the old value is still registered when the walk
+	// reaches its shard — see registry.go for the full argument.
 	for i := range ents {
 		v := ents[i].Key
 		v.mu.Lock()
-		for r := range v.readers {
-			if r != tx {
-				r.clampUB(p)
-			}
-		}
 		v.value = ents[i].Val
 		v.wts = p
 		if tm.history.Load() {
 			v.hist = append(v.hist, stm.VersionRecord{Value: v.value, Serial: p})
 		}
 		v.mu.Unlock()
+		v.readers.clampAll(tx, p)
 	}
 	if prof != nil {
 		now := prof.Now()
@@ -381,13 +395,15 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	}
 
 	// Record our point as a committed read of everything we read.
-	for _, v := range tx.readSet {
+	for _, n := range tx.readSet {
+		v := n.v
 		v.mu.Lock()
 		if p > v.rts {
 			v.rts = p
 		}
-		delete(v.readers, tx)
 		v.mu.Unlock()
+		v.readers.unlink(n)
+		tx.freeNode(n)
 	}
 	tx.readSet = tx.readSet[:0]
 

@@ -53,13 +53,13 @@ func TestReaderRegistryCleanup(t *testing.T) {
 	// Committed reader deregisters.
 	ro := tm.Begin(true)
 	ro.Read(x)
-	if len(x.readers) != 1 {
+	if x.readers.size() != 1 {
 		t.Fatalf("reader not registered")
 	}
 	if !tm.Commit(ro) {
 		t.Fatalf("ro commit failed")
 	}
-	if len(x.readers) != 0 {
+	if x.readers.size() != 0 {
 		t.Fatalf("committed reader still registered")
 	}
 
@@ -67,8 +67,48 @@ func TestReaderRegistryCleanup(t *testing.T) {
 	up := tm.Begin(false)
 	up.Read(x)
 	tm.Abort(up)
-	if len(x.readers) != 0 {
+	if x.readers.size() != 0 {
 		t.Fatalf("aborted reader still registered")
+	}
+}
+
+func TestStripedRegistryDedupAndPool(t *testing.T) {
+	tm := New()
+	x := tm.NewVar(0).(*avar)
+
+	// Re-reading the same variable must not register twice.
+	tx := tm.Begin(false).(*txn)
+	tx.Read(x)
+	tx.Read(x)
+	if got := x.readers.size(); got != 1 {
+		t.Fatalf("duplicate registration: size = %d, want 1", got)
+	}
+	if !tm.Commit(tx) {
+		t.Fatalf("commit failed")
+	}
+
+	// The unlinked node went back to the descriptor's freelist.
+	if tx.free == nil {
+		t.Fatalf("node not pooled after commit")
+	}
+	if tx.free.v != nil {
+		t.Fatalf("pooled node still pins its variable")
+	}
+
+	// Readers with different home shards land in different stripes.
+	a := tm.Begin(true).(*txn)
+	b := tm.Begin(true).(*txn)
+	b.regShard = (a.regShard + 1) % regShards
+	a.Read(x)
+	b.Read(x)
+	if x.readers.size() != 2 {
+		t.Fatalf("striped registrations lost: size = %d, want 2", x.readers.size())
+	}
+	if !tm.Commit(a) || !tm.Commit(b) {
+		t.Fatalf("reader commits failed")
+	}
+	if x.readers.size() != 0 {
+		t.Fatalf("registry not empty after commits: %d", x.readers.size())
 	}
 }
 

@@ -1,0 +1,158 @@
+package avstm
+
+import "sync"
+
+// Striped visible-reader registry (DESIGN.md §12).
+//
+// AVSTM's reads are fully visible: every read registers the transaction in
+// the variable's reader registry so a committing writer can clamp the
+// intervals of the readers it overtakes. The original map-per-variable
+// registry made that registration the read path's scalability ceiling: every
+// reader of a hot variable serialized on one mutex and mutated one shared
+// map. The registry is now striped — a fixed array of small intrusive
+// doubly-linked lists, each with its own lock. A reader registers only in
+// its sticky home shard (assigned once per descriptor, like the stats stripe
+// and TWM's stamp shard), so readers that landed on different shards never
+// contend; a committing writer walks all shards, which is the right place to
+// pay — commits are the rare, already-serialized side (the global commit
+// mutex) of this engine.
+//
+// Registration stays allocation-free: list nodes are pooled on the owning
+// descriptor (a node is pushed back on the descriptor's freelist as soon as
+// it is unlinked), so the steady state recycles nodes the way descriptors
+// themselves are recycled.
+//
+// Ordering argument (replacing the single-mutex atomicity of the map
+// design): a reader registers in its shard BEFORE reading value/wts under
+// v.mu; a committing writer publishes value/wts under v.mu BEFORE walking
+// the shards to clamp. If the reader's registration precedes the walk, the
+// reader is clamped below the writer's point p (correct whether it read the
+// old value, or the new one — then its lb is already ≥ p and it aborts on an
+// empty interval, a safe outcome). If the walk precedes the registration,
+// then lock ordering forces the reader's v.mu read after the publication, so
+// it observes the new value and wts = p and serializes after p. Either way
+// no committed reader of the old value can serialize after p. rts stays
+// under v.mu, and all commit-side finalization remains under the global
+// commit mutex, so the committed-reader edges (through rts) are unchanged.
+
+// regShards is the stripe count of each variable's registry. Shards are
+// deliberately unpadded: 8 stripes of {mutex, head} cost 128 bytes per
+// variable, and splitting the lock already removes the serialization that
+// mattered; per-variable padding (1 KiB each) would be too heavy for the
+// many cold variables an application allocates.
+const regShards = 8
+
+// readerNode is one (transaction, variable) registration: an intrusive
+// doubly-linked list element owned and pooled by its transaction descriptor.
+type readerNode struct {
+	tx   *txn
+	v    *avar
+	prev *readerNode
+	next *readerNode // doubles as the freelist link while pooled
+}
+
+type regShard struct {
+	mu   sync.Mutex
+	head *readerNode
+}
+
+// readerRegistry is the striped visible-reader set embedded in each avar.
+type readerRegistry struct {
+	shards [regShards]regShard
+}
+
+// register links tx into its home shard and returns the node, or nil when tx
+// is already registered for this variable (the home shard is walked under
+// its lock — duplicates can only live in the reader's own shard, and the
+// shard holds only the readers that share it, so the walk is short).
+func (r *readerRegistry) register(tx *txn, v *avar) *readerNode {
+	sh := &r.shards[tx.regShard]
+	sh.mu.Lock()
+	for n := sh.head; n != nil; n = n.next {
+		if n.tx == tx {
+			sh.mu.Unlock()
+			return nil
+		}
+	}
+	n := tx.newNode(v)
+	n.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = n
+	}
+	sh.head = n
+	sh.mu.Unlock()
+	return n
+}
+
+// unlink removes a registered node from its shard. The shard is recomputed
+// from the owning descriptor's sticky home shard, which never changes over
+// the node's lifetime. The node is NOT returned to the freelist here —
+// callers do that once they are done with n.v.
+func (r *readerRegistry) unlink(n *readerNode) {
+	sh := &r.shards[n.tx.regShard]
+	sh.mu.Lock()
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sh.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	sh.mu.Unlock()
+}
+
+// clampAll clamps every registered reader except the committer itself to
+// serialize below p. Lock order is shard.mu → txn.mu (clampUB); no path
+// acquires a shard lock while holding a descriptor lock, so the order is
+// acyclic.
+func (r *readerRegistry) clampAll(except *txn, p uint64) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for n := sh.head; n != nil; n = n.next {
+			if n.tx != except {
+				n.tx.clampUB(p)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// size counts registered readers across all shards (tests only).
+func (r *readerRegistry) size() int {
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for n := sh.head; n != nil; n = n.next {
+			total++
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// newNode pops a node from the descriptor's freelist, or allocates the
+// pool's seed node. Nodes cycle between a variable's registry and their
+// descriptor's freelist, so steady-state registration allocates nothing.
+func (tx *txn) newNode(v *avar) *readerNode {
+	n := tx.free
+	if n == nil {
+		n = &readerNode{tx: tx}
+	} else {
+		tx.free = n.next
+	}
+	n.v = v
+	n.prev, n.next = nil, nil
+	return n
+}
+
+// freeNode returns an unlinked node to the descriptor's freelist, dropping
+// its variable reference so pooled nodes do not pin dead variables.
+func (tx *txn) freeNode(n *readerNode) {
+	n.v = nil
+	n.prev = nil
+	n.next = tx.free
+	tx.free = n
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Read-scaling experiment: the read-path contention probe behind ISSUE 5.
+//
+// TWM's semi-visible reads make every read a *shared-memory write* (a CAS
+// maximum on the variable's read stamp), and AVSTM's visible reads are worse
+// (a mutex plus registry insert). On a read-dominated workload those writes
+// are the scalability ceiling: a read-hot variable's stamp is one cache line
+// ping-ponging across every reading core. This experiment sweeps goroutine
+// counts on a read-dominated IntSet and reports reads/second, making the
+// ceiling (and the effect of sharding the stamps) measurable. Cells are
+// emitted as a machine-readable JSON artifact (BENCH_readscale.json) so
+// successive PRs can compare like against like.
+
+// ReadScalingConfig parameterizes the read-dominated IntSet sweep.
+type ReadScalingConfig struct {
+	Elements  int     // initial set size
+	KeyRange  int64   // keys drawn from [0, KeyRange)
+	UpdatePct float64 // fraction of update transactions (small: read-dominated)
+	Seed      uint64
+}
+
+// DefaultReadScaling is the container-sized read-dominated configuration:
+// 95% lookups over a shared skip list small enough that concurrent readers
+// collide on the same hot variables (the head towers) at every thread count.
+func DefaultReadScaling() ReadScalingConfig {
+	return ReadScalingConfig{Elements: 2_000, KeyRange: 4_000, UpdatePct: 0.05, Seed: 1}
+}
+
+// ReadScalingThreads is the goroutine axis of the sweep.
+func ReadScalingThreads() []int { return []int{1, 2, 4, 8, 16, 32, 64} }
+
+// ReadScalingMicro is the read-dominated IntSet workload: UpdatePct
+// insert/remove pairs, the rest lookups, over one shared skip list.
+func ReadScalingMicro(cfg ReadScalingConfig) Micro {
+	sl := SkipListMicro(SkipListConfig{
+		Elements:  cfg.Elements,
+		KeyRange:  cfg.KeyRange,
+		UpdatePct: cfg.UpdatePct,
+		Seed:      cfg.Seed,
+	})
+	sl.Name = "readscale"
+	return sl
+}
+
+// ReadScaleFigure runs the read-scaling sweep and prints reads/s (committed
+// transactions per second; at 95% lookups throughput is read throughput) and
+// the stamp-contention counters per engine and thread count.
+func ReadScaleFigure(w io.Writer, cfg FigureConfig, rs ReadScalingConfig) ([]Result, error) {
+	results, err := microFigure(w, cfg, ReadScalingMicro(rs),
+		fmt.Sprintf("Read scaling: read-dominated IntSet throughput (txs/s), %.0f%% updates", rs.UpdatePct*100),
+		"Read scaling companion: abort rate (%)")
+	if err != nil {
+		return nil, err
+	}
+	StampContentionTable(w, results)
+	return results, nil
+}
+
+// StampContentionTable prints the semi-visible-read contention counters (CAS
+// retries on read stamps, committer max-over-shards scans) per engine and
+// thread count — the observability for the sharded-stamp read path, next to
+// the retries-by-reason histogram in the summary.
+func StampContentionTable(w io.Writer, results []Result) {
+	hasAny := false
+	for _, r := range results {
+		if r.Stats.StampCASRetries > 0 || r.Stats.StampMaxScans > 0 {
+			hasAny = true
+			break
+		}
+	}
+	if !hasAny {
+		fmt.Fprintln(w, "stamp contention: no read-stamp CAS retries or shard-max scans recorded")
+		return
+	}
+	tbl := NewTable("Semi-visible read contention (stamp CAS retries / shard-max scans)",
+		"engine", "threads", "cas-retries", "shard-max-scans", "retries/commit")
+	for _, r := range results {
+		perCommit := 0.0
+		if r.Stats.Commits > 0 {
+			perCommit = float64(r.Stats.StampCASRetries) / float64(r.Stats.Commits)
+		}
+		tbl.AddRow(r.Engine, fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d", r.Stats.StampCASRetries),
+			fmt.Sprintf("%d", r.Stats.StampMaxScans),
+			fmt.Sprintf("%.3f", perCommit))
+	}
+	tbl.Fprint(w)
+}
+
+// ReadScaleCell is one engine×threads measurement in the JSON artifact.
+type ReadScaleCell struct {
+	Engine          string  `json:"engine"`
+	Threads         int     `json:"threads"`
+	Ops             uint64  `json:"ops"`
+	ElapsedNS       int64   `json:"elapsed_ns"`
+	OpsPerSec       float64 `json:"ops_per_sec"`
+	Commits         uint64  `json:"commits"`
+	ROCommits       uint64  `json:"ro_commits"`
+	Aborts          uint64  `json:"aborts"`
+	AbortRate       float64 `json:"abort_rate"`
+	StampCASRetries uint64  `json:"stamp_cas_retries"`
+	StampMaxScans   uint64  `json:"stamp_max_scans"`
+}
+
+// ReadScaleArtifact is the machine-readable form of a read-scaling sweep —
+// the baseline artifact format for the bench trajectory (BENCH_readscale.json).
+type ReadScaleArtifact struct {
+	Experiment string            `json:"experiment"`
+	Config     ReadScalingConfig `json:"config"`
+	DurationMS int64             `json:"duration_ms_per_cell"`
+	YieldEvery int               `json:"yield_every"`
+	Cells      []ReadScaleCell   `json:"cells"`
+}
+
+// NewReadScaleArtifact assembles the JSON artifact from a sweep's cells.
+func NewReadScaleArtifact(cfg FigureConfig, rs ReadScalingConfig, results []Result) ReadScaleArtifact {
+	art := ReadScaleArtifact{
+		Experiment: "readscale",
+		Config:     rs,
+		DurationMS: cfg.Duration.Milliseconds(),
+		YieldEvery: cfg.YieldEvery,
+	}
+	for _, r := range results {
+		art.Cells = append(art.Cells, ReadScaleCell{
+			Engine:          r.Engine,
+			Threads:         r.Threads,
+			Ops:             r.Ops,
+			ElapsedNS:       int64(r.Elapsed / time.Nanosecond),
+			OpsPerSec:       r.Throughput(),
+			Commits:         r.Stats.Commits,
+			ROCommits:       r.Stats.ROCommits,
+			Aborts:          r.Stats.Aborts,
+			AbortRate:       r.Stats.AbortRate(),
+			StampCASRetries: r.Stats.StampCASRetries,
+			StampMaxScans:   r.Stats.StampMaxScans,
+		})
+	}
+	return art
+}
+
+// WriteJSON emits the artifact with stable indentation (diff-friendly when
+// committed to the repository).
+func (a ReadScaleArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engines"
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// BenchmarkReadScaling measures the read-dominated IntSet workload per engine
+// across the goroutine axis — the read-path scalability probe behind the
+// sharded semi-visible stamps (DESIGN.md §12). Each g-axis sub-benchmark
+// splits b.N application-level operations (95% lookups) over exactly g
+// goroutines with per-worker RNG streams, oversubscribing a fixed goroutine
+// count the way the fixed-duration harness does. Run with:
+//
+//	go test ./internal/bench -bench ReadScaling -benchmem -run '^$'
+func BenchmarkReadScaling(b *testing.B) {
+	cfg := DefaultReadScaling()
+	for _, name := range engines.Names() {
+		b.Run(name, func(b *testing.B) {
+			for _, g := range ReadScalingThreads() {
+				b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
+					tm := engines.MustNew(name)
+					op, err := ReadScalingMicro(cfg).Prepare(tm, g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					runFixedGoroutines(b, g, op)
+				})
+			}
+		})
+	}
+}
+
+// runFixedGoroutines splits b.N operations across exactly g goroutines with
+// per-worker RNG streams, mirroring RunMicro's worker structure.
+func runFixedGoroutines(b *testing.B, g int, op MicroOp) {
+	if g > b.N {
+		g = b.N
+	}
+	done := make(chan struct{}, g)
+	base := xrand.New(uint64(b.N) | 1)
+	share := b.N / g
+	extra := b.N % g
+	for w := 0; w < g; w++ {
+		n := share
+		if w < extra {
+			n++
+		}
+		go func(id, n int, r *xrand.Rand) {
+			for i := 0; i < n; i++ {
+				op(id, r)
+			}
+			done <- struct{}{}
+		}(w, n, base.Split(w))
+	}
+	for w := 0; w < g; w++ {
+		<-done
+	}
+}
+
+// TestReadScaleSmoke is the CI smoke form of the read-scaling experiment: a
+// tiny sweep on every engine, asserting the sweep completes, the JSON
+// artifact round-trips, and the read path stays correct under concurrency
+// (committed lookups dominate).
+func TestReadScaleSmoke(t *testing.T) {
+	threads := []int{1, 4}
+	dur := 40 * time.Millisecond
+	if testing.Short() {
+		threads = []int{2}
+		dur = 20 * time.Millisecond
+	}
+	cfg := FigureConfig{
+		Engines:  engines.Names(),
+		Threads:  threads,
+		Duration: dur,
+		Seed:     1,
+		// One yield per barrier approximates multi-core interleaving on the
+		// CI container, exactly as the figure sweeps do.
+		YieldEvery: 1,
+	}
+	rs := ReadScalingConfig{Elements: 200, KeyRange: 400, UpdatePct: 0.05, Seed: 1}
+
+	var out bytes.Buffer
+	results, err := ReadScaleFigure(&out, cfg, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Engines) * len(threads); len(results) != want {
+		t.Fatalf("got %d cells, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if r.Stats.Commits == 0 {
+			t.Errorf("%s t=%d: no commits", r.Engine, r.Threads)
+		}
+		if r.Stats.ROCommits == 0 {
+			t.Errorf("%s t=%d: no read-only commits on a read-dominated workload", r.Engine, r.Threads)
+		}
+	}
+
+	art := NewReadScaleArtifact(cfg, rs, results)
+	var js bytes.Buffer
+	if err := art.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back ReadScaleArtifact
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Experiment != "readscale" || len(back.Cells) != len(results) {
+		t.Fatalf("artifact mismatch: %+v", back)
+	}
+}
+
+// TestStampContentionTable covers both renderings of the contention table:
+// all-zero counters print the placeholder line, non-zero counters print rows.
+func TestStampContentionTable(t *testing.T) {
+	var out bytes.Buffer
+	StampContentionTable(&out, []Result{{Engine: "tl2", Threads: 2}})
+	if !strings.Contains(out.String(), "no read-stamp CAS retries") {
+		t.Fatalf("zero-counter table output:\n%s", out.String())
+	}
+	out.Reset()
+	r := Result{Engine: "twm", Threads: 4}
+	r.Stats = stm.Snapshot{Commits: 10, StampCASRetries: 7, StampMaxScans: 3}
+	StampContentionTable(&out, []Result{r})
+	got := out.String()
+	if !strings.Contains(got, "twm") || !strings.Contains(got, "7") || !strings.Contains(got, "0.700") {
+		t.Fatalf("contention table output:\n%s", got)
+	}
+}

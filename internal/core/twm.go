@@ -67,6 +67,12 @@ type Options struct {
 	// pass cuts to. 0 selects the default; it is only consulted when Budget
 	// is set.
 	MaxVersionDepth int
+	// EagerStampSharding promotes every variable's semi-visible read stamp to
+	// the sharded register at creation instead of adaptively under CAS
+	// contention. It trades ~2 KiB per variable for shard-local raises from
+	// the first read; the conformance battery and race soaks use it to drive
+	// every read and every committer validation through the sharded path.
+	EagerStampSharding bool
 }
 
 const (
@@ -89,6 +95,9 @@ type TM struct {
 	// txns pools transaction descriptors (with their read/write-set backing
 	// arrays and active-set slot) across attempts; see Recycle.
 	txns sync.Pool
+	// stampSeq deals out sticky home shards for sharded read stamps, one per
+	// descriptor lifetime — the same scheme as ActiveSet slots.
+	stampSeq atomic.Uint32
 
 	varsMu  sync.Mutex
 	vars    []*twvar
@@ -115,7 +124,13 @@ func New(opts Options) *TM {
 	// keep natOrder = twOrder = 0 and are visible to every snapshot).
 	tm.clock.Store(1)
 	tm.active = mvutil.NewActiveSet()
-	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
+	tm.txns.New = func() any {
+		return &txn{
+			tm:         tm,
+			stats:      tm.stats.Shard(),
+			stampShard: int(tm.stampSeq.Add(1)) & (mvutil.StampShards - 1),
+		}
+	}
 	return tm
 }
 
@@ -161,6 +176,24 @@ func (tm *TM) CommitOrders(txi stm.Tx) (nat, tw uint64) {
 // instrumentation).
 func (tm *TM) Start(txi stm.Tx) uint64 { return txi.(*txn).start }
 
+// PromoteStamp forces v's semi-visible read stamp onto the sharded
+// representation (tests and instrumentation; promotion otherwise happens
+// adaptively when raisers contend on the inline stamp). Safe concurrently
+// with readers and committers — it performs exactly the publication step of
+// the adaptive path, minus the raise.
+func (tm *TM) PromoteStamp(v stm.Var) {
+	tv := v.(*twvar)
+	if tv.stamps.Load() != nil {
+		return
+	}
+	s := new(mvutil.ShardedStamp)
+	s.Seed(tv.readStamp.Load())
+	tv.stamps.CompareAndSwap(nil, s)
+}
+
+// StampSharded reports whether v's read stamp has been promoted (tests).
+func (tm *TM) StampSharded(v stm.Var) bool { return v.(*twvar).stamps.Load() != nil }
+
 // version is one committed value of a variable. Versions form a singly linked
 // list from newest to oldest in descending twOrder; natOrder breaks no ties in
 // the list because time-warp clashes are elided (paper lines 31-32).
@@ -179,7 +212,17 @@ type twvar struct {
 	id        uint64
 	owner     atomic.Pointer[txn] // commit lock; nil means unlocked
 	latest    atomic.Pointer[version]
-	readStamp atomic.Uint64 // semi-visible read stamp
+	readStamp atomic.Uint64 // semi-visible read stamp (uncontended fast path)
+
+	// stamps, once non-nil, extends readStamp with a sharded CAS-max register
+	// (DESIGN.md §12). It is promoted lazily, the first time raisers actually
+	// collide on readStamp: a ShardedStamp is ~2 KiB, far too heavy for the
+	// many cold variables an application allocates, while the inline stamp is
+	// a scalability cliff on the few read-hot ones. After promotion readers
+	// raise only their home shard and committers fold readStamp into the
+	// shard maximum, so a raise that landed inline before (or while) the
+	// promotion published is never lost.
+	stamps atomic.Pointer[mvutil.ShardedStamp]
 
 	hist *historyLog // non-nil only when history recording is enabled
 }
@@ -192,6 +235,9 @@ func (tm *TM) NewVar(initial stm.Value) stm.Var {
 	v := &twvar{}
 	root := &version{value: initial}
 	v.latest.Store(root)
+	if tm.opts.EagerStampSharding {
+		v.stamps.Store(new(mvutil.ShardedStamp))
+	}
 	if b := tm.opts.Budget; b != nil {
 		// The initial version is charged too: GC may free it once newer
 		// versions exist, and releases must balance installs.
@@ -243,16 +289,72 @@ func (v *twvar) waitUnlocked(self *txn, budget int) bool {
 	}
 }
 
-// semiVisibleRead advances v's readStamp to at least ts via a CAS maximum
+// promoteAfterRetries is the inline-CAS failure count at which a raise
+// promotes the variable's stamp to a sharded register. One failed CAS is
+// ordinary bad luck; a second failure within the same raise means at least
+// two other raisers hit this stamp concurrently — the read-hot case the
+// sharding exists for.
+const promoteAfterRetries = 2
+
+// semiVisibleRead advances v's read stamp to at least ts via a CAS maximum
 // (paper's SEMIVISIBLEREAD): readers are visible in aggregate, without
-// tracking individual reader identities.
-func (v *twvar) semiVisibleRead(ts uint64) {
+// tracking individual reader identities. The stamp is adaptive: the inline
+// readStamp serves uncontended variables with a single CAS, and sustained
+// CAS contention promotes the variable to a sharded register in which this
+// descriptor raises only its sticky home shard (DESIGN.md §12). Failed CAS
+// attempts are counted into the stamp-contention stats either way.
+func (tx *txn) semiVisibleRead(v *twvar, ts uint64) {
+	if s := v.stamps.Load(); s != nil {
+		tx.stats.RecordStampRetries(s.Raise(tx.stampShard, ts))
+		return
+	}
+	var retries uint64
 	for {
 		last := v.readStamp.Load()
 		if last >= ts || v.readStamp.CompareAndSwap(last, ts) {
+			tx.stats.RecordStampRetries(retries)
+			return
+		}
+		if retries++; retries >= promoteAfterRetries {
+			tx.promoteStamp(v, ts)
+			tx.stats.RecordStampRetries(retries)
 			return
 		}
 	}
+}
+
+// promoteStamp publishes a sharded register for v carrying this raise. The
+// raise is installed in the candidate register *before* the pointer CAS so
+// that publication and raise are one atomic event: a committer that loads
+// the stamps pointer after the CAS sees the raise in the shard maximum, and
+// a committer that loaded it before falls under the missed-raise case of the
+// raise/observe argument (it still holds v's commit lock, so this reader's
+// subsequent waitUnlocked orders the version traversal after the committer's
+// publications — see DESIGN.md §12). If another reader wins the CAS the
+// raise is redone in the winner's register.
+func (tx *txn) promoteStamp(v *twvar, ts uint64) {
+	s := new(mvutil.ShardedStamp)
+	s.Seed(v.readStamp.Load())
+	s.Raise(tx.stampShard, ts)
+	if !v.stamps.CompareAndSwap(nil, s) {
+		tx.stats.RecordStampRetries(v.stamps.Load().Raise(tx.stampShard, ts))
+	}
+}
+
+// stampMax observes v's semi-visible read stamp from the committer side: the
+// inline stamp folded with the shard maximum when a register has been
+// promoted. The inline stamp stays valid forever after promotion (raisers
+// that lost the promotion race may have landed there), so both sources are
+// always combined.
+func (tx *txn) stampMax(v *twvar) uint64 {
+	m := v.readStamp.Load()
+	if s := v.stamps.Load(); s != nil {
+		tx.stats.RecordStampScan()
+		if sm := s.Max(); sm > m {
+			m = sm
+		}
+	}
+	return m
 }
 
 // txn is a TWM transaction (Table 1's Tx struct). Descriptors are pooled
@@ -274,6 +376,10 @@ type txn struct {
 
 	locked []*twvar    // commit locks currently held (for failure cleanup)
 	slot   mvutil.Slot // active-set registration, reused across attempts
+	// stampShard is the sticky home shard this descriptor raises in promoted
+	// (sharded) read stamps; assigned once per descriptor so raises from one
+	// goroutine keep hitting the same cache line.
+	stampShard int
 
 	lastReason stm.AbortReason // why the last Commit returned false
 }
@@ -354,9 +460,9 @@ func (tx *txn) Read(v stm.Var) stm.Value {
 // snapshot, which the trim depth always serves).
 func (tx *txn) readRO(tv *twvar) stm.Value {
 	// The semi-visible read must precede the lock wait so that a concurrent
-	// committer either observes the raised readStamp (and raises its target
+	// committer either observes the raised stamp (and raises its target
 	// flag) or has already published its versions before we traverse.
-	tv.semiVisibleRead(tx.tm.clock.Load())
+	tx.semiVisibleRead(tv, tx.tm.clock.Load())
 	tv.waitUnlocked(nil, -1)
 	ver := tv.latest.Load()
 	for ver.twOrder > tx.start {
@@ -451,6 +557,20 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		return tm.failCommit(tx, stm.ReasonMemoryPressure)
 	}
 
+	// Clock-pressure relief (GV5-style "pass on abort", DESIGN.md §12): a
+	// commit that is already provably doomed aborts here, before taking any
+	// lock and — crucially — before bumping the shared clock at natOrder
+	// assignment. Failed commits that bump the clock push every concurrent
+	// snapshot further behind the present, manufacturing more stale reads and
+	// more failed commits; passing on the bump breaks that feedback loop. The
+	// check is conservative (only monotone, certainly-fatal conditions abort)
+	// so it can never reject a commit the authoritative path would accept.
+	if !tm.opts.Opacity {
+		if r := tx.preDoomed(); r != stm.ReasonNone {
+			return tm.failCommit(tx, r)
+		}
+	}
+
 	prof := tm.prof.Load()
 	var t0 int64
 	if prof != nil {
@@ -472,7 +592,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 			return tm.failCommit(tx, stm.ReasonLockTimeout)
 		}
 		tx.locked = append(tx.locked, v)
-		if v.readStamp.Load() > tx.start {
+		if tx.stampMax(v) > tx.start {
 			// Some transaction concurrent with tx read a variable tx is
 			// about to overwrite: tx is the target of an anti-dependency.
 			// (The paper checks >= with stamps taken before the stamper's
@@ -503,7 +623,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// HANDLEREAD: make the reads visible, then detect anti-dependencies
 	// originating at tx (versions of read variables committed after start).
 	for _, v := range tx.readSet {
-		v.semiVisibleRead(tm.clock.Load())
+		tx.semiVisibleRead(v, tm.clock.Load())
 		if !v.waitUnlocked(tx, budget) {
 			return tm.failCommit(tx, stm.ReasonLockTimeout)
 		}
@@ -577,6 +697,55 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	tx.stats.RecordCommit(false)
 	tm.maybeGC()
 	return true
+}
+
+// preDoomed checks cheap, monotone doom conditions before the commit draws
+// its natural order or takes any lock, looking only at read-set heads and
+// write-set stamps. Every signal used here can only intensify between this
+// check and the authoritative commit path — read stamps only rise, version
+// heads only get newer, and any version existing now carries a natural order
+// below any timestamp this transaction could still draw — so a doom verdict
+// is always genuine, never speculative:
+//
+//   - DisableTimeWarp ablation: a head newer than the snapshot is exactly
+//     the classic validation failure the scan would hit first.
+//   - A time-warped head newer than the snapshot is a Rule 2 abort; if GC
+//     or trimming removes it first, every remaining newer version either
+//     aborts the scan itself or ends it in ReasonMemoryPressure.
+//   - An un-warped head newer than the snapshot makes this transaction an
+//     anti-dependency source; combined with a raised stamp on any write-set
+//     variable (the target condition the lock loop would find) the triad
+//     rule applies.
+//
+// The authoritative scan still runs on the surviving path — it performs the
+// commit-time semi-visible raises and walks complete chains; this check only
+// lets doomed commits fail without touching the clock.
+func (tx *txn) preDoomed() stm.AbortReason {
+	tm := tx.tm
+	source := false
+	for _, v := range tx.readSet {
+		ver := v.latest.Load()
+		if ver.natOrder <= tx.start {
+			continue
+		}
+		if tm.opts.DisableTimeWarp {
+			return stm.ReasonReadConflict
+		}
+		if ver.timeWarped() {
+			return stm.ReasonTimeWarpSkip
+		}
+		source = true
+	}
+	if !source {
+		return stm.ReasonNone
+	}
+	ents := tx.writeSet.Entries()
+	for i := range ents {
+		if tx.stampMax(ents[i].Key) > tx.start {
+			return stm.ReasonTriad // source ∧ target
+		}
+	}
+	return stm.ReasonNone
 }
 
 // failCommit records the abort, releases held locks and reports failure. The

@@ -164,6 +164,84 @@ func TestAllocsWatchdogSample(t *testing.T) {
 	}
 }
 
+// TestAllocsAVSTMRegistry pins the striped reader registry's allocation
+// profile (DESIGN.md §12): creating a variable allocates exactly the variable
+// itself (the registry is an embedded array, where the map-based registry
+// paid an extra map header per variable), and the visible-read path — node
+// registration, duplicate-read dedup, clamp-side unlink — recycles pooled
+// nodes instead of churning registry storage.
+func TestAllocsAVSTMRegistry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	tm := engines.MustNew("avstm")
+	if got := testing.AllocsPerRun(100, func() { _ = tm.NewVar(0) }); got > 1 {
+		t.Errorf("NewVar: %.1f allocs/op, budget 1 (the avar itself)", got)
+	}
+
+	vars := make([]stm.Var, 4)
+	for i := range vars {
+		vars[i] = tm.NewVar(i)
+	}
+	hotReads := func() {
+		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+			for range 3 { // re-reads exercise the home-shard dedup walk
+				for _, v := range vars {
+					_ = tx.Read(v)
+				}
+			}
+			return nil
+		})
+	}
+	hotReads() // warm the descriptor pool and its node freelist
+	if got := testing.AllocsPerRun(200, hotReads); got > 0 {
+		t.Errorf("visible-read tx: %.1f allocs/op, budget 0", got)
+	}
+}
+
+// TestAllocsTWMShardedStampRead verifies the read path stays allocation-free
+// after a variable's read stamp has been promoted to the sharded register:
+// readers raise a home shard of the existing register, which must never
+// allocate (only the one-time promotion pays the register's footprint).
+func TestAllocsTWMShardedStampRead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	type promoter interface {
+		PromoteStamp(stm.Var)
+		StampSharded(stm.Var) bool
+	}
+	for _, name := range []string{"twm", "twm-notw", "twm-opaque"} {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			core, ok := tm.(promoter)
+			if !ok {
+				t.Fatalf("%s does not expose stamp promotion", name)
+			}
+			vars := make([]stm.Var, 8)
+			for i := range vars {
+				vars[i] = tm.NewVar(i)
+				core.PromoteStamp(vars[i])
+				if !core.StampSharded(vars[i]) {
+					t.Fatalf("stamp not promoted")
+				}
+			}
+			roTx := func() {
+				_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+					for _, v := range vars {
+						_ = tx.Read(v)
+					}
+					return nil
+				})
+			}
+			roTx() // warm the descriptor pool
+			if got := testing.AllocsPerRun(200, roTx); got > 0 {
+				t.Errorf("read-only tx over promoted stamps: %.1f allocs/op, budget 0", got)
+			}
+		})
+	}
+}
+
 // TestAllocsEmptyUpdate verifies an update transaction that writes nothing
 // commits without touching the heap — the write buffer is lazily grown, so
 // a read-mostly workload declared as updates pays nothing for the privilege.

@@ -295,6 +295,20 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		defer prof.AddTx()
 	}
 
+	// Clock-pressure relief ("pass on abort", DESIGN.md §12): a commit whose
+	// read set is already stale is certain to fail the authoritative
+	// validation below — a head version number never decreases — so abort it
+	// here, before any lock is taken and before the clock is bumped. Failed
+	// commits that bump the clock age every concurrent snapshot for nothing;
+	// passing on the bump also makes the wv == start+1 validation shortcut
+	// below fire far more often. This check takes no lock waits: a head
+	// mid-publication is left to the authoritative pass.
+	for _, v := range tx.readSet {
+		if v.head.Load().ver > tx.start {
+			return tx.failCommit(stm.ReasonReadConflict)
+		}
+	}
+
 	// Lookups are over: sort the write entries in place by id (deadlock
 	// avoidance) without sort.Slice's closure allocations.
 	ents := tx.writeSet.Entries()
@@ -321,15 +335,24 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	// Classic validation: abort if any read variable has a version newer
 	// than our snapshot. A concurrent committer that holds a lock on a read
 	// variable is waited out (bounded) so we validate a stable head.
-	for _, v := range tx.readSet {
-		if !tx.waitUnlocked(v) {
-			return tx.failCommit(stm.ReasonLockTimeout)
-		}
-		if v.head.Load().ver > tx.start {
-			if prof != nil {
-				prof.AddReadSetVal(prof.Now() - t0)
+	//
+	// The wv == start+1 shortcut (TL2's rv+1 rule): our increment directly
+	// followed the clock value we began at, so every other committer drew
+	// either at or below start — its publications are inside our snapshot,
+	// and the read barrier already waited those out — or above wv, in which
+	// case it serializes after us and cannot have produced a version our
+	// reads missed. Nothing remains to validate.
+	if wv != tx.start+1 {
+		for _, v := range tx.readSet {
+			if !tx.waitUnlocked(v) {
+				return tx.failCommit(stm.ReasonLockTimeout)
 			}
-			return tx.failCommit(stm.ReasonReadConflict)
+			if v.head.Load().ver > tx.start {
+				if prof != nil {
+					prof.AddReadSetVal(prof.Now() - t0)
+				}
+				return tx.failCommit(stm.ReasonReadConflict)
+			}
 		}
 	}
 	if prof != nil {

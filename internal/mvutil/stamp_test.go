@@ -1,0 +1,79 @@
+package mvutil
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedStampRaiseMax(t *testing.T) {
+	var s ShardedStamp
+	if got := s.Max(); got != 0 {
+		t.Fatalf("zero-value Max = %d, want 0", got)
+	}
+	if r := s.Raise(3, 10); r != 0 {
+		t.Fatalf("uncontended Raise reported %d retries", r)
+	}
+	if got := s.Max(); got != 10 {
+		t.Fatalf("Max = %d, want 10", got)
+	}
+	// A lower raise on the same shard is a no-op.
+	s.Raise(3, 5)
+	if got := s.Max(); got != 10 {
+		t.Fatalf("Max after lower raise = %d, want 10", got)
+	}
+	// A raise on a different shard contributes to the maximum.
+	s.Raise(7, 42)
+	if got := s.Max(); got != 42 {
+		t.Fatalf("Max across shards = %d, want 42", got)
+	}
+	// Home shards wrap modulo StampShards.
+	s.Raise(3+StampShards, 50)
+	if got := s.shards[3].v.Load(); got != 50 {
+		t.Fatalf("wrapped raise landed at %d, want 50 in shard 3", got)
+	}
+}
+
+func TestShardedStampSeed(t *testing.T) {
+	var s ShardedStamp
+	s.Raise(0, 99)
+	s.Seed(7)
+	for i := range s.shards {
+		want := uint64(7)
+		if i == 0 {
+			want = 99 // Seed never lowers a shard
+		}
+		if got := s.shards[i].v.Load(); got != want {
+			t.Fatalf("shard %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := s.Max(); got != 99 {
+		t.Fatalf("Max after seed = %d, want 99", got)
+	}
+}
+
+// TestShardedStampConcurrentMax checks the monotone-maximum property under
+// concurrency: after all raises complete, Max is the global maximum raised,
+// regardless of which home shards the raisers used.
+func TestShardedStampConcurrentMax(t *testing.T) {
+	var s ShardedStamp
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(home int) {
+			defer wg.Done()
+			for i := 1; i <= perWorker; i++ {
+				// Two raisers per home shard (home and home+workers wrap onto
+				// distinct shards only if StampShards > workers; force real
+				// CAS contention by halving the shard space).
+				s.Raise(home%4, uint64(home*perWorker+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := uint64((workers-1)*perWorker + perWorker)
+	if got := s.Max(); got != want {
+		t.Fatalf("Max = %d, want %d", got, want)
+	}
+}

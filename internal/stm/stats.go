@@ -34,7 +34,16 @@ type StatShard struct {
 	aborts    atomic.Uint64
 	byReason  [numAbortReasons]atomic.Uint64
 
-	_ [128 - (4+int(numAbortReasons))*8%128]byte
+	// Read-path contention counters (semi-visible reads, DESIGN.md §12):
+	// stampRetries counts failed CAS attempts while raising a read stamp (a
+	// retry means another reader raced the same stamp location — the
+	// cache-line ping-pong the sharded stamps exist to eliminate), and
+	// stampScans counts committer max-over-shards scans (the commit-side
+	// price paid for each promoted, sharded stamp encountered).
+	stampRetries atomic.Uint64
+	stampScans   atomic.Uint64
+
+	_ [128 - (6+int(numAbortReasons))*8%128]byte
 }
 
 // Shard hands out a stripe for a long-lived recorder (one pooled transaction
@@ -61,6 +70,17 @@ func (s *StatShard) RecordAbort(reason AbortReason) {
 	s.aborts.Add(1)
 	s.byReason[reason].Add(1)
 }
+
+// RecordStampRetries notes n failed CAS attempts while raising a semi-visible
+// read stamp. n == 0 is the common case and records nothing.
+func (s *StatShard) RecordStampRetries(n uint64) {
+	if n > 0 {
+		s.stampRetries.Add(n)
+	}
+}
+
+// RecordStampScan notes one committer max-over-shards stamp scan.
+func (s *StatShard) RecordStampScan() { s.stampScans.Add(1) }
 
 // RecordStart notes one transaction attempt (shard 0; use Shard() on hot
 // paths).
@@ -94,6 +114,11 @@ type Snapshot struct {
 	ROCommits uint64
 	Aborts    uint64
 	ByReason  map[string]uint64
+	// StampCASRetries counts failed CAS attempts while raising semi-visible
+	// read stamps; StampMaxScans counts committer max-over-shards stamp
+	// scans. Both are zero on engines without semi-visible reads.
+	StampCASRetries uint64
+	StampMaxScans   uint64
 }
 
 // Snapshot sums the shards into one copy of the counter values.
@@ -106,6 +131,8 @@ func (s *Stats) Snapshot() Snapshot {
 		snap.Commits += sh.commits.Load()
 		snap.ROCommits += sh.roCommits.Load()
 		snap.Aborts += sh.aborts.Load()
+		snap.StampCASRetries += sh.stampRetries.Load()
+		snap.StampMaxScans += sh.stampScans.Load()
 		for r := range sh.byReason {
 			byReason[r] += sh.byReason[r].Load()
 		}
@@ -126,6 +153,8 @@ func (s *Stats) Reset() {
 		sh.commits.Store(0)
 		sh.roCommits.Store(0)
 		sh.aborts.Store(0)
+		sh.stampRetries.Store(0)
+		sh.stampScans.Store(0)
 		for r := range sh.byReason {
 			sh.byReason[r].Store(0)
 		}

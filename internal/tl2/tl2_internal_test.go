@@ -97,6 +97,47 @@ func TestWriteVersionMonotonicPerVar(t *testing.T) {
 	}
 }
 
+func TestDoomedCommitPassesOnClock(t *testing.T) {
+	// Clock-pressure relief: a commit whose read set is already stale aborts
+	// before drawWV, leaving the shared clock untouched.
+	tm := New(Options{})
+	x := tm.NewVar(0)
+	y := tm.NewVar(0)
+
+	t1 := tm.Begin(false)
+	if got := t1.Read(x); got != 0 {
+		t.Fatalf("read = %v", got)
+	}
+	t1.Write(y, 1)
+
+	t2 := tm.Begin(false)
+	t2.Write(x, 2)
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+
+	before := tm.clock.Load()
+	if tm.Commit(t1) {
+		t.Fatalf("t1 must abort on its stale read set")
+	}
+	if after := tm.clock.Load(); after != before {
+		t.Fatalf("doomed commit bumped the clock: %d -> %d", before, after)
+	}
+}
+
+func TestDrawWVOwnIncrement(t *testing.T) {
+	// The uncontended drawWV path: the CAS wins, wv is a fresh increment and
+	// own is true — the only combination that may take the rv+1 validation
+	// shortcut. (The adopted path needs a racing committer and is exercised by
+	// the concurrent conformance battery.)
+	tm := New(Options{})
+	before := tm.clock.Load()
+	wv, own := tm.drawWV()
+	if !own || wv != before+1 {
+		t.Fatalf("drawWV = (%d, %v), want (%d, true)", wv, own, before+1)
+	}
+}
+
 func TestEarlyLockFailOnNewerVersion(t *testing.T) {
 	// lockVar refuses to lock a variable whose version already exceeds rv:
 	// the transaction is doomed, so it aborts before taking locks.
