@@ -1,6 +1,6 @@
 // Command twm-bench regenerates every table and figure of the paper's
 // evaluation (§5 of Diegues & Romano, PPoPP 2014) against this repository's
-// five STM engines.
+// STM engines.
 //
 // Usage:
 //
@@ -19,6 +19,9 @@
 //	           version budget, with admission gating and watchdog alerts
 //	readscale  read-path scalability: read-dominated IntSet sweep over
 //	           goroutine counts, emitting BENCH_readscale.json (-json)
+//	groupcommit  commit pipelining: write-heavy Zipf counters A/B of each
+//	           serial engine vs its flat-combining group-commit variant,
+//	           emitting BENCH_groupcommit.json (-json)
 //	all        everything above
 //
 // Flags select engines, thread counts, per-cell duration for the
@@ -30,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -57,7 +61,7 @@ func run(args []string) error {
 	yieldEvery := fs.Int("yield-every", 1, "inject a scheduler yield after every N-th transactional barrier to simulate multi-core overlap on few cores (0 disables)")
 	zipf := fs.Float64("zipf", 0, "Zipf skew for the tree experiment (0 = uniform)")
 	csvPath := fs.String("csv", "", "also append machine-readable results to this CSV file")
-	jsonPath := fs.String("json", "BENCH_readscale.json", "output path for the readscale JSON artifact")
+	jsonPath := fs.String("json", "auto", "output path for the experiment's JSON artifact (auto = BENCH_<experiment>.json; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,22 +150,33 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				return err
-			}
-			art := bench.NewReadScaleArtifact(cfg, rs, res)
-			if err := art.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s (%d cells)\n", *jsonPath, len(art.Cells))
+		art := bench.NewReadScaleArtifact(cfg, rs, res)
+		if err := writeArtifact(artifactPath(*jsonPath, "readscale"), art.WriteJSON, len(art.Cells)); err != nil {
+			return err
 		}
 		return emit("readscale", res, nil)
+	case "groupcommit":
+		gc := bench.DefaultGroupCommit()
+		if *scale == "small" {
+			gc = bench.GroupCommitConfig{Counters: 256, WritesPerTx: 4, ZipfS: 1.1, Seed: *seed}
+		}
+		// The A/B sweep has its own default axes: the serial/grouped engine
+		// pairs and the goroutine counts of the EXPERIMENTS.md table.
+		if *engineList == strings.Join(engines.PaperSet(), ",") {
+			cfg.Engines = bench.GroupCommitEngines()
+		}
+		if *threadList == "1,4,8,16,32,64" {
+			cfg.Threads = bench.GroupCommitThreads()
+		}
+		res, err := bench.GroupCommitFigure(out, cfg, gc)
+		if err != nil {
+			return err
+		}
+		art := bench.NewGroupCommitArtifact(cfg, gc, res)
+		if err := writeArtifact(artifactPath(*jsonPath, "groupcommit"), art.WriteJSON, len(art.Cells)); err != nil {
+			return err
+		}
+		return emit("groupcommit", res, nil)
 	case "all":
 		if res, err := bench.Fig3SkipList(out, cfg, sl); emit("fig3-skiplist", res, err) != nil {
 			return err
@@ -179,6 +194,36 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// artifactPath resolves the -json flag for an experiment: "auto" selects the
+// conventional BENCH_<experiment>.json, empty disables the artifact.
+func artifactPath(flagValue, experiment string) string {
+	if flagValue == "auto" {
+		return "BENCH_" + experiment + ".json"
+	}
+	return flagValue
+}
+
+// writeArtifact writes a JSON artifact via the provided encoder; an empty
+// path writes nothing.
+func writeArtifact(path string, write func(io.Writer) error, cells int) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", path, cells)
+	return nil
 }
 
 // emitFunc forwards a figure's results to the optional CSV sink.

@@ -41,3 +41,29 @@ func negatives(tm stm.TM, x *stm.TVar[int]) {
 }
 
 func observe(tx stm.Tx, x *stm.TVar[int]) { _ = x.Get(tx) }
+
+// The async entry points carry the same readOnly discipline: their bodies
+// are transaction bodies, and the constant readOnly argument is theirs.
+func asyncPositives(tm stm.TM, x *stm.TVar[int]) {
+	f := stm.AtomicallyAsync(tm, true, func(tx stm.Tx) error {
+		x.Set(tx, 5) // want `TVar.Set .a Tx.Write. inside a transaction body started with readOnly=true`
+		bump(tx, x)  // want `call to bump, which reaches TVar.Set`
+		return nil
+	})
+	_ = f.Wait()
+}
+
+func asyncNegatives(tm stm.TM, x *stm.TVar[int]) {
+	f := stm.AtomicallyAsync(tm, true, func(tx stm.Tx) error {
+		_ = x.Get(tx)
+		observe(tx, x)
+		return nil
+	})
+	_ = f.Wait()
+	// Async update transactions may write freely.
+	g := stm.AtomicallyAsync(tm, false, func(tx stm.Tx) error {
+		x.Set(tx, 6)
+		return nil
+	})
+	_ = g.Wait()
+}

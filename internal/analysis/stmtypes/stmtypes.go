@@ -188,15 +188,18 @@ func IsStmFunc(fn *types.Func, name string) bool {
 		fn.Type().(*types.Signature).Recv() == nil
 }
 
-// IsAtomicallyCall reports whether call starts a transaction: a call to
-// stm.Atomically / stm.AtomicallyCtx, or to any method named Atomically
-// (the hybrid engine's entry point follows that convention).
+// IsAtomicallyCall reports whether call starts a transaction: a call to any
+// package-level stm function named with the Atomically prefix (Atomically,
+// AtomicallyCtx, AtomicallyCM, AtomicallyGated, the async variants returning
+// a *stm.Future, and whatever the family grows next), or to any method named
+// Atomically (the hybrid engine's entry point follows that convention).
 func IsAtomicallyCall(info *types.Info, call *ast.CallExpr) bool {
 	fn := FuncOf(info, call)
 	if fn == nil {
 		return false
 	}
-	if IsStmFunc(fn, "Atomically") || IsStmFunc(fn, "AtomicallyCtx") {
+	if strings.HasPrefix(fn.Name(), "Atomically") && PkgPathOf(fn) == StmPath &&
+		fn.Type().(*types.Signature).Recv() == nil {
 		return true
 	}
 	return fn.Name() == "Atomically" && fn.Type().(*types.Signature).Recv() != nil

@@ -40,4 +40,26 @@ func negatives(tm stm.TM, x *stm.TVar[int]) {
 	})
 }
 
+// Async entry points are transaction-body roots like any other: the body of
+// an AtomicallyAsync call is under the same escape discipline.
+func asyncPositives(tm stm.TM, ch chan stm.Tx) {
+	var leaked stm.Tx
+	f := stm.AtomicallyAsync(tm, false, func(tx stm.Tx) error {
+		ch <- tx    // want `Tx sent on a channel`
+		leaked = tx // want `outlives the transaction body`
+		return nil
+	})
+	_ = f.Wait()
+	_ = leaked
+}
+
+func asyncNegatives(tm stm.TM, x *stm.TVar[int]) {
+	f := stm.AtomicallyAsync(tm, false, func(tx stm.Tx) error {
+		helper(tx, x)
+		x.Set(tx, x.Get(tx)+1)
+		return nil
+	})
+	<-f.Done()
+}
+
 func helper(tx stm.Tx, x *stm.TVar[int]) { _ = x.Get(tx) }

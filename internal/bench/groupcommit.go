@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/xrand"
+)
+
+// Group-commit experiment: the commit-pipelining probe behind the
+// flat-combining commit stage (DESIGN.md §13).
+//
+// The workload is write-heavy and Zipf-skewed: every transaction RMW-
+// increments a handful of counters drawn from a skewed distribution over a
+// large array, so commits are frequent, small, and contended enough that the
+// serial engines' per-commit lock/validate/clock-bump sequence is the
+// bottleneck. The sweep intentionally runs each cell at
+// GOMAXPROCS=goroutines: on a container with fewer cores that oversubscribes
+// the scheduler, and kernel timeslicing then preempts serial committers in
+// the middle of their locked commit sections — exactly the adverse schedule
+// flat combining is immune to, because the single leader is the only
+// goroutine that ever holds commit locks. Cells are emitted as a
+// machine-readable JSON artifact (BENCH_groupcommit.json) so successive PRs
+// can compare like against like.
+
+// GroupCommitConfig parameterizes the write-heavy Zipf counter workload.
+type GroupCommitConfig struct {
+	Counters    int     // shared counter array size
+	WritesPerTx int     // RMW increments per transaction
+	ZipfS       float64 // access skew (0 = uniform; larger = hotter head keys)
+	Seed        uint64
+}
+
+// DefaultGroupCommit is the container-sized configuration: enough counters
+// that write-write overlap inside one batch is rare (spills stay low), skewed
+// enough that serial committers contend on validation and the shared clock.
+func DefaultGroupCommit() GroupCommitConfig {
+	return GroupCommitConfig{Counters: 4096, WritesPerTx: 4, ZipfS: 1.1, Seed: 1}
+}
+
+// GroupCommitThreads is the goroutine axis of the A/B sweep.
+func GroupCommitThreads() []int { return []int{8, 32, 64} }
+
+// GroupCommitEngines interleaves each serial engine with its group-commit
+// variant so every A/B pair runs back to back on the same machine state.
+func GroupCommitEngines() []string { return []string{"twm", "twm-gc", "jvstm", "jvstm-gc"} }
+
+// GroupCommitMicro is the write-heavy workload: WritesPerTx Zipf-drawn
+// counters RMW-incremented per transaction, 100% updates.
+func GroupCommitMicro(cfg GroupCommitConfig) Micro {
+	return Micro{
+		Name: "groupcommit",
+		Prepare: func(tm stm.TM, threads int) (MicroOp, error) {
+			vars := make([]stm.Var, cfg.Counters)
+			for i := range vars {
+				vars[i] = tm.NewVar(0)
+			}
+			z := xrand.NewZipf(cfg.Counters, cfg.ZipfS)
+			op := func(_ int, r *xrand.Rand) {
+				// Draw outside the body so retries replay the same keys.
+				var picks [16]int
+				n := cfg.WritesPerTx
+				if n > len(picks) {
+					n = len(picks)
+				}
+				for i := 0; i < n; i++ {
+					picks[i] = z.Next(r)
+				}
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					for i := 0; i < n; i++ {
+						v := vars[picks[i]]
+						tx.Write(v, tx.Read(v).(int)+1)
+					}
+					return nil
+				})
+			}
+			return op, nil
+		},
+	}
+}
+
+// GroupCommitFigure runs the A/B sweep and prints throughput, abort rate,
+// batch statistics and the pairwise speedups. Unlike the other figures it
+// pins GOMAXPROCS to the cell's goroutine count (restored afterwards) and
+// ignores cfg.YieldEvery: the oversubscribed scheduler provides the
+// preemption the yield knob otherwise simulates, and injected yields inside
+// commit sections would mask the serial engines' real exposure to it.
+func GroupCommitFigure(w io.Writer, cfg FigureConfig, gc GroupCommitConfig) ([]Result, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	m := GroupCommitMicro(gc)
+	var all []Result
+	thr := NewTable(fmt.Sprintf("Group commit: write-heavy Zipf counters throughput (txs/s), %d writes/tx, s=%.2f",
+		gc.WritesPerTx, gc.ZipfS),
+		append([]string{"engine"}, threadHeaders(cfg.Threads)...)...)
+	ab := NewTable("Group commit companion: abort rate (%)",
+		append([]string{"engine"}, threadHeaders(cfg.Threads)...)...)
+	for _, engine := range cfg.Engines {
+		thrRow := []string{engine}
+		abRow := []string{engine}
+		for _, t := range cfg.Threads {
+			runtime.GOMAXPROCS(t)
+			res, err := RunMicro(engine, m, t, cfg.Duration, cfg.Seed, 0)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, res)
+			thrRow = append(thrRow, FormatCount(res.Throughput()))
+			abRow = append(abRow, fmt.Sprintf("%.1f", res.Stats.AbortRate()*100))
+		}
+		thr.AddRow(thrRow...)
+		ab.AddRow(abRow...)
+	}
+	thr.Fprint(w)
+	ab.Fprint(w)
+	BatchStatsTable(w, all)
+	GroupCommitSpeedupTable(w, all)
+	return all, nil
+}
+
+// BatchStatsTable prints the combiner counters for every cell that batched:
+// installed batches, mean batch size, write-write spills, flat-combining
+// handoffs, and the clock advances (== batches when the one-tick-per-batch
+// invariant holds).
+func BatchStatsTable(w io.Writer, results []Result) {
+	hasAny := false
+	for _, r := range results {
+		if r.Stats.GroupBatches > 0 {
+			hasAny = true
+			break
+		}
+	}
+	if !hasAny {
+		fmt.Fprintln(w, "group commit: no batched commits recorded")
+		return
+	}
+	tbl := NewTable("Group-commit batch statistics",
+		"engine", "threads", "batches", "mean-batch", "spills", "handoffs", "clock-advances")
+	for _, r := range results {
+		if r.Stats.GroupBatches == 0 {
+			continue
+		}
+		tbl.AddRow(r.Engine, fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d", r.Stats.GroupBatches),
+			fmt.Sprintf("%.2f", r.Stats.MeanBatchSize()),
+			fmt.Sprintf("%d", r.Stats.BatchSpills),
+			fmt.Sprintf("%d", r.Stats.CombinerHandoffs),
+			fmt.Sprintf("%d", r.Stats.ClockAdvances))
+	}
+	tbl.Fprint(w)
+}
+
+// GroupCommitSpeedupTable prints the pairwise gain of each -gc engine over
+// its serial baseline at every thread count present in results.
+func GroupCommitSpeedupTable(w io.Writer, results []Result) {
+	base := map[string]map[int]float64{}
+	for _, r := range results {
+		if m := base[r.Engine]; m == nil {
+			base[r.Engine] = map[int]float64{}
+		}
+		base[r.Engine][r.Threads] = r.Throughput()
+	}
+	tbl := NewTable("Group-commit speedup over serial baseline (%)",
+		"pair", "threads", "serial tx/s", "grouped tx/s", "gain")
+	rows := 0
+	for _, r := range results {
+		if len(r.Engine) < 3 || r.Engine[len(r.Engine)-3:] != "-gc" {
+			continue
+		}
+		serial, ok := base[r.Engine[:len(r.Engine)-3]][r.Threads]
+		if !ok || serial <= 0 {
+			continue
+		}
+		grouped := r.Throughput()
+		tbl.AddRow(r.Engine[:len(r.Engine)-3]+" vs "+r.Engine, fmt.Sprintf("%d", r.Threads),
+			FormatCount(serial), FormatCount(grouped),
+			fmt.Sprintf("%+.1f%%", (grouped/serial-1)*100))
+		rows++
+	}
+	if rows > 0 {
+		tbl.Fprint(w)
+	}
+}
+
+// GroupCommitCell is one engine×threads measurement in the JSON artifact.
+type GroupCommitCell struct {
+	Engine           string  `json:"engine"`
+	Threads          int     `json:"threads"`
+	Ops              uint64  `json:"ops"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	Commits          uint64  `json:"commits"`
+	Aborts           uint64  `json:"aborts"`
+	AbortRate        float64 `json:"abort_rate"`
+	GroupBatches     uint64  `json:"group_batches"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+	BatchSpills      uint64  `json:"batch_spills"`
+	CombinerHandoffs uint64  `json:"combiner_handoffs"`
+	ClockAdvances    uint64  `json:"clock_advances"`
+}
+
+// GroupCommitArtifact is the machine-readable form of a group-commit sweep
+// (BENCH_groupcommit.json).
+type GroupCommitArtifact struct {
+	Experiment string            `json:"experiment"`
+	Config     GroupCommitConfig `json:"config"`
+	DurationMS int64             `json:"duration_ms_per_cell"`
+	// GOMAXPROCSPerCell records that each cell ran at GOMAXPROCS equal to its
+	// goroutine count (see GroupCommitFigure).
+	GOMAXPROCSPerCell bool              `json:"gomaxprocs_per_cell"`
+	Cells             []GroupCommitCell `json:"cells"`
+}
+
+// NewGroupCommitArtifact assembles the JSON artifact from a sweep's cells.
+func NewGroupCommitArtifact(cfg FigureConfig, gc GroupCommitConfig, results []Result) GroupCommitArtifact {
+	art := GroupCommitArtifact{
+		Experiment:        "groupcommit",
+		Config:            gc,
+		DurationMS:        cfg.Duration.Milliseconds(),
+		GOMAXPROCSPerCell: true,
+	}
+	for _, r := range results {
+		art.Cells = append(art.Cells, GroupCommitCell{
+			Engine:           r.Engine,
+			Threads:          r.Threads,
+			Ops:              r.Ops,
+			ElapsedNS:        int64(r.Elapsed / time.Nanosecond),
+			OpsPerSec:        r.Throughput(),
+			Commits:          r.Stats.Commits,
+			Aborts:           r.Stats.Aborts,
+			AbortRate:        r.Stats.AbortRate(),
+			GroupBatches:     r.Stats.GroupBatches,
+			MeanBatchSize:    r.Stats.MeanBatchSize(),
+			BatchSpills:      r.Stats.BatchSpills,
+			CombinerHandoffs: r.Stats.CombinerHandoffs,
+			ClockAdvances:    r.Stats.ClockAdvances,
+		})
+	}
+	return art
+}
+
+// WriteJSON emits the artifact with stable indentation (diff-friendly when
+// committed to the repository).
+func (a GroupCommitArtifact) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mvutil"
+	"repro/internal/xrand"
+)
+
+// GroupOptions tunes fault injection inside a group-commit combiner
+// (mvutil.BatchHooks): the faults fire from the leader itself, underneath the
+// engine's commit protocol, where the stm.TM-level wrapper above cannot reach.
+// The zero value injects nothing.
+type GroupOptions struct {
+	// Seed selects the deterministic decision stream (0 behaves like 1).
+	Seed uint64
+
+	// LeaderStallProb is the probability that a leader drain session stalls
+	// before draining — a descheduled leader, the failure mode followers'
+	// spin-then-sleep wait must tolerate. LeaderStall is the sleep per
+	// injected stall; 0 yields the processor instead.
+	LeaderStallProb float64
+	LeaderStall     time.Duration
+
+	// BatchSplitProb is the per-batch probability that a prospective batch of
+	// n members is cut to a random size in [1, n), forcing the chunking and
+	// re-round paths that a well-behaved workload rarely exercises.
+	BatchSplitProb float64
+}
+
+// GroupInjected counts the combiner faults delivered so far.
+type GroupInjected struct {
+	Stalls atomic.Uint64 // leader stalls
+	Splits atomic.Uint64 // batch splits
+}
+
+// GroupInjector produces mvutil.BatchHooks with deterministic fault
+// injection. One injector serves one engine instance; the combiner invokes
+// hooks only under its leader lock, but the injector guards its stream anyway
+// so sharing across engines (or future concurrent hook sites) stays sound.
+type GroupInjector struct {
+	opts GroupOptions
+
+	mu  sync.Mutex
+	rng *xrand.Rand
+	inj GroupInjected
+}
+
+// NewGroupInjector returns an injector drawing from the stream seeded by
+// opts.Seed.
+func NewGroupInjector(opts GroupOptions) *GroupInjector {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &GroupInjector{opts: opts, rng: xrand.New(opts.Seed)}
+}
+
+// Injected returns the live fault counters.
+func (g *GroupInjector) Injected() *GroupInjected { return &g.inj }
+
+// Hooks returns the BatchHooks to pass as the engine's GroupHooks option.
+func (g *GroupInjector) Hooks() *mvutil.BatchHooks {
+	return &mvutil.BatchHooks{
+		LeaderStall: g.leaderStall,
+		SplitBatch:  g.splitBatch,
+	}
+}
+
+func (g *GroupInjector) leaderStall() {
+	g.mu.Lock()
+	hit := g.opts.LeaderStallProb > 0 && g.rng.Float64() < g.opts.LeaderStallProb
+	g.mu.Unlock()
+	if !hit {
+		return
+	}
+	g.inj.Stalls.Add(1)
+	if g.opts.LeaderStall > 0 {
+		time.Sleep(g.opts.LeaderStall)
+	} else {
+		runtime.Gosched()
+	}
+}
+
+func (g *GroupInjector) splitBatch(n int) int {
+	if n <= 1 {
+		return n
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.opts.BatchSplitProb <= 0 || g.rng.Float64() >= g.opts.BatchSplitProb {
+		return n
+	}
+	g.inj.Splits.Add(1)
+	return 1 + int(g.rng.Uint64()%uint64(n-1))
+}

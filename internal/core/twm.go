@@ -73,6 +73,21 @@ type Options struct {
 	// the first read; the conformance battery and race soaks use it to drive
 	// every read and every committer validation through the sharded path.
 	EagerStampSharding bool
+	// GroupCommit routes every update commit through a flat-combining
+	// leader/follower stage (DESIGN.md §13): committers publish their
+	// validated-ready write sets to a striped combiner queue, and one leader
+	// drains a batch of pairwise write-write-disjoint members (overlapping
+	// members spill to the next round), performing the paper's full commit
+	// protocol for each member under a single global-clock advance per batch.
+	// Mutually exclusive with Opacity and DisableTimeWarp. The engine's name
+	// becomes "twm-gc".
+	GroupCommit bool
+	// GroupMaxBatch caps the members installed per combiner batch; 0 selects
+	// mvutil.DefaultMaxBatch. Only consulted when GroupCommit is set.
+	GroupMaxBatch int
+	// GroupHooks injects the combiner's fault points (leader stall, batch
+	// split) for adversarial tests; see mvutil.BatchHooks and internal/chaos.
+	GroupHooks *mvutil.BatchHooks
 }
 
 const (
@@ -102,6 +117,15 @@ type TM struct {
 	varsMu  sync.Mutex
 	vars    []*twvar
 	history atomic.Bool
+
+	// combiner is the flat-combining commit stage; nil unless
+	// Options.GroupCommit. The scratch slices and claim map below are leader
+	// state, guarded by the combiner's leader lock (the batch callback only
+	// ever runs under it).
+	combiner      *mvutil.Combiner
+	batchPend     []*txn
+	batchAdmitted []*txn
+	batchClaimed  map[*twvar]struct{}
 }
 
 // New returns a TWM instance with the given options.
@@ -118,7 +142,16 @@ func New(opts Options) *TM {
 	if opts.MaxVersionDepth <= 0 {
 		opts.MaxVersionDepth = defaultTrimDepth
 	}
+	if opts.GroupCommit && (opts.Opacity || opts.DisableTimeWarp) {
+		// The batched install path implements exactly the default time-warp
+		// commit protocol; the opacity and ablation variants keep the serial
+		// path.
+		panic("core: GroupCommit requires the default time-warp mode")
+	}
 	tm := &TM{opts: opts}
+	if opts.GroupCommit {
+		tm.combiner = mvutil.NewCombiner(opts.GroupMaxBatch, opts.GroupHooks)
+	}
 	// Start the clock at 1 so the zero readStamp of a never-read variable can
 	// never satisfy the readStamp >= start target check (initial versions
 	// keep natOrder = twOrder = 0 and are visible to every snapshot).
@@ -141,6 +174,8 @@ func (tm *TM) Name() string {
 		return "twm-notw"
 	case tm.opts.Opacity:
 		return "twm-opaque"
+	case tm.opts.GroupCommit:
+		return "twm-gc"
 	}
 	return "twm"
 }
@@ -289,6 +324,27 @@ func (v *twvar) waitUnlocked(self *txn, budget int) bool {
 	}
 }
 
+// waitUnlockedBatch is the leader's variant of waitUnlocked: locks held by
+// other members of the batch being installed count as unlocked. The leader
+// lock-phases every member before processing any of them, so during member
+// m's read scan a not-yet-installed member k still holds its write locks; k's
+// versions do not exist yet (exactly as in the sequential schedule, where m
+// commits before k), so waiting on k's lock would deadlock the leader against
+// itself. Only the GC's sentinel owner (never in a batch) is genuinely waited
+// out.
+func (v *twvar) waitUnlockedBatch(self *txn, budget int) bool {
+	for i := 0; ; i++ {
+		o := v.owner.Load()
+		if o == nil || o == self || o.inBatch {
+			return true
+		}
+		if budget >= 0 && i >= budget {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
 // promoteAfterRetries is the inline-CAS failure count at which a raise
 // promotes the variable's stamp to a sharded register. One failed CAS is
 // ordinary bad luck; a second failure within the same raise means at least
@@ -382,6 +438,15 @@ type txn struct {
 	stampShard int
 
 	lastReason stm.AbortReason // why the last Commit returned false
+
+	// req is this descriptor's embedded combiner request (GroupCommit only);
+	// publication allocates nothing. inBatch marks the descriptor as a member
+	// of the batch the leader is currently installing: it is written only by
+	// the leader, under the combiner's leader lock, and read by the leader's
+	// own scans (waitUnlockedBatch) — it is always false by the time the
+	// request resolves, so no other goroutine ever observes it true.
+	req     mvutil.CommitReq
+	inBatch bool
 }
 
 // ReadOnly implements stm.Tx.
@@ -548,6 +613,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		return true
 	}
 
+	if tm.combiner != nil {
+		// Group commit: publish the write set to the flat-combining stage and
+		// let a leader — possibly this goroutine — perform the whole protocol
+		// batched (groupcommit.go).
+		return tm.commitGrouped(tx)
+	}
+
 	// Version-memory backpressure: before taking any commit lock, make sure
 	// the budget can absorb this transaction's installs, escalating through
 	// eager GC and chain trimming; when even those cannot relieve hard
@@ -687,7 +759,7 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	}
 
 	for i := range ents {
-		tm.createNewVersion(tx, ents[i].Key, ents[i].Val)
+		tm.createNewVersion(tx, ents[i].Key, ents[i].Val, nil)
 		ents[i].Key.unlock(tx)
 	}
 	tx.locked = tx.locked[:0]
@@ -771,7 +843,11 @@ func (tm *TM) failCommit(tx *txn, reason stm.AbortReason) bool {
 // those readers on the documented degradation path instead — their walk
 // reaches nil and restarts with stm.ReasonMemoryPressure — and changes
 // nothing for readers and scans that terminate within the retained prefix.
-func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value) {
+//
+// charge, when non-nil, accumulates the version-budget install instead of
+// charging it immediately — the group-commit leader flushes one accumulated
+// charge per batch (DESIGN.md §13).
+func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value, charge *mvutil.BatchCharge) {
 	var newer *version
 	older := v.latest.Load()
 	for older != nil && tx.twOrder < older.twOrder {
@@ -798,7 +874,11 @@ func (tm *TM) createNewVersion(tx *txn, v *twvar, val stm.Value) {
 		newer.next.Store(ver)
 	}
 	if b := tm.opts.Budget; b != nil {
-		b.Install(1, mvutil.ApproxVersionBytes(val))
+		if charge != nil {
+			charge.Add(1, mvutil.ApproxVersionBytes(val))
+		} else {
+			b.Install(1, mvutil.ApproxVersionBytes(val))
+		}
 	}
 	if v.hist != nil {
 		v.hist.append(stm.VersionRecord{Value: val, Serial: tx.twOrder, Tie: tx.natOrder})

@@ -26,7 +26,9 @@ var factories = map[string]Factory{
 	"twm":        func() stm.TM { return core.New(core.Options{}) },
 	"twm-notw":   func() stm.TM { return core.New(core.Options{DisableTimeWarp: true}) },
 	"twm-opaque": func() stm.TM { return core.New(core.Options{Opacity: true}) },
+	"twm-gc":     func() stm.TM { return core.New(core.Options{GroupCommit: true}) },
 	"jvstm":      func() stm.TM { return jvstm.New(jvstm.Options{}) },
+	"jvstm-gc":   func() stm.TM { return jvstm.New(jvstm.Options{GroupCommit: true}) },
 	"tl2":        func() stm.TM { return tl2.New(tl2.Options{}) },
 	"norec":      func() stm.TM { return norec.New() },
 	"avstm":      func() stm.TM { return avstm.New() },
@@ -68,7 +70,13 @@ func MustNew(name string) stm.TM {
 
 // MultiVersionSet lists the engines that maintain version chains (and hence
 // accept a version budget), in PaperSet order.
-func MultiVersionSet() []string { return []string{"jvstm", "twm", "twm-notw", "twm-opaque"} }
+func MultiVersionSet() []string {
+	return []string{"jvstm", "jvstm-gc", "twm", "twm-notw", "twm-opaque", "twm-gc"}
+}
+
+// GroupCommitSet lists the engines with a flat-combining group-commit stage
+// (DESIGN.md §13), paired with their serial-commit counterparts for A/B runs.
+func GroupCommitSet() []string { return []string{"twm-gc", "jvstm-gc"} }
 
 // NewBudgeted constructs one of the multi-versioned engines with a version
 // budget and trim depth attached (the resource-exhaustion configuration; see
@@ -84,8 +92,12 @@ func NewBudgeted(name string, budget *mvutil.VersionBudget, maxDepth int) (stm.T
 		return core.New(core.Options{DisableTimeWarp: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
 	case "twm-opaque":
 		return core.New(core.Options{Opacity: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
+	case "twm-gc":
+		return core.New(core.Options{GroupCommit: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
 	case "jvstm":
 		return jvstm.New(jvstm.Options{Budget: budget, MaxVersionDepth: maxDepth}), nil
+	case "jvstm-gc":
+		return jvstm.New(jvstm.Options{GroupCommit: true, Budget: budget, MaxVersionDepth: maxDepth}), nil
 	}
 	return nil, fmt.Errorf("engines: engine %q does not support a version budget (have %v)", name, MultiVersionSet())
 }

@@ -38,9 +38,14 @@ const (
 	// a stuck (or leaked) transaction turns into unbounded version memory.
 	CondStuck
 	// CondClockStall: attempts are starting but nothing finishes — no
-	// commits and no aborts across a window with starts. Distinct from
-	// livelock (which churns); a stall means transactions are wedged
-	// mid-flight (e.g. spinning on a lock nobody releases).
+	// commits, no aborts and no commit-clock motion across a window with
+	// starts. Distinct from livelock (which churns); a stall means
+	// transactions are wedged mid-flight (e.g. spinning on a lock nobody
+	// releases). The clock term matters under group commit: one batched
+	// advance covers N commits that the leader records one member at a time,
+	// so a window can land after the tick but before the member counters —
+	// moving ticks prove the commit stage is alive even when the counters
+	// have not caught up yet.
 	CondClockStall
 	// CondBudget: the version budget reads hard pressure — installs are
 	// being refused (or imminently will be) with stm.ReasonMemoryPressure.
@@ -179,7 +184,12 @@ type condState struct {
 // targetState is the per-target sampling state.
 type targetState struct {
 	starts, commits, aborts uint64 // counter values at the previous sample
-	conds                   [numConditions]condState
+	clock                   uint64 // commit-clock value at the previous sample
+	// commitsPerTick is the last window's commits per clock tick — ≈1 on the
+	// serial commit path, the mean batch size under group commit. Carried
+	// across tickless windows (idle ticks say nothing new).
+	commitsPerTick float64
+	conds          [numConditions]condState
 }
 
 // Watchdog samples a set of targets and raises/clears condition alerts.
@@ -218,6 +228,9 @@ func New(cfg Config, targets ...Target) *Watchdog {
 	for i := range targets {
 		st := &w.states[i]
 		st.starts, st.commits, _, st.aborts = targets[i].Stats.Totals()
+		if targets[i].Clock != nil {
+			st.clock = targets[i].Clock()
+		}
 	}
 	return w
 }
@@ -275,16 +288,29 @@ func (w *Watchdog) Step() {
 		dAborts := aborts - st.aborts
 		st.starts, st.commits, st.aborts = starts, commits, aborts
 
+		var clock, dClock uint64
+		if t.Clock != nil {
+			clock = t.Clock()
+			dClock = clock - st.clock
+			st.clock = clock
+			if dClock > 0 {
+				st.commitsPerTick = float64(dCommits) / float64(dClock)
+			}
+		}
+
 		w.judge(t, st, CondLivelock,
 			dAborts >= w.cfg.MinAborts && dCommits == 0,
 			"aborts", dAborts, "commits", dCommits)
 
+		// A clockless target (no Clock capability) is judged on the counters
+		// alone, as before; a clocked one must additionally show a motionless
+		// clock, so a mid-install batched advance never reads as a stall.
 		w.judge(t, st, CondClockStall,
-			dStarts >= w.cfg.MinStarts && dCommits == 0 && dAborts == 0,
-			"starts", dStarts, "finished", dCommits+dAborts)
+			dStarts >= w.cfg.MinStarts && dCommits == 0 && dAborts == 0 &&
+				(t.Clock == nil || dClock == 0),
+			"starts", dStarts, "clock-ticks", dClock)
 
 		if t.Clock != nil && t.Active != nil {
-			clock := t.Clock()
 			min := t.Active.MinStart(clock)
 			w.judge(t, st, CondStuck,
 				clock-min >= w.cfg.StuckClockLag,
@@ -357,6 +383,9 @@ type TargetSnapshot struct {
 	Aborts   uint64                 `json:"aborts"`
 	Clock    uint64                 `json:"clock,omitempty"`
 	MinStart uint64                 `json:"minStart,omitempty"`
+	// CommitsPerTick is the last sampled window's commits per clock tick:
+	// ≈1 on a serial commit path, the mean batch size under group commit.
+	CommitsPerTick float64 `json:"commitsPerTick,omitempty"`
 	Budget   *mvutil.BudgetSnapshot `json:"budget,omitempty"`
 	Active   []string               `json:"activeConditions,omitempty"`
 }
@@ -378,6 +407,7 @@ func (w *Watchdog) Snapshot() Snapshot {
 		ts.Starts, ts.Commits, _, ts.Aborts = t.Stats.Totals()
 		if t.Clock != nil {
 			ts.Clock = t.Clock()
+			ts.CommitsPerTick = w.states[i].commitsPerTick
 			if t.Active != nil {
 				ts.MinStart = t.Active.MinStart(ts.Clock)
 			}

@@ -131,6 +131,74 @@ func TestWatchdogClockStall(t *testing.T) {
 	}
 }
 
+// TestWatchdogClockStallBatchedAdvance: a clocked target whose commit clock
+// keeps moving is never a stall, even across windows that see starts but no
+// finished transactions — exactly the window a group-commit leader produces
+// between a batch's single clock advance and the member commits being
+// recorded. A genuinely frozen clock still raises.
+func TestWatchdogClockStallBatchedAdvance(t *testing.T) {
+	var stats stm.Stats
+	var clock atomic.Uint64
+	clock.Store(1)
+	w := New(Config{RaiseAfter: 2}, Target{Name: "t", Stats: &stats, Clock: clock.Load})
+
+	// Batched commit stage alive: attempts start, counters lag, clock ticks.
+	for i := 0; i < 4; i++ {
+		stats.RecordStart()
+		clock.Add(1)
+		w.Step()
+	}
+	if w.Active("t", CondClockStall) {
+		t.Fatal("stall raised while the commit clock was advancing")
+	}
+
+	// Genuine wedge: starts with a motionless clock and nothing finishing.
+	for i := 0; i < 2; i++ {
+		stats.RecordStart()
+		w.Step()
+	}
+	if !w.Active("t", CondClockStall) {
+		t.Fatal("genuine stall not raised on a clocked target")
+	}
+
+	// A batch lands: one tick, several commits; two good windows clear it.
+	clock.Add(1)
+	for i := 0; i < 3; i++ {
+		stats.RecordCommit(false)
+	}
+	w.Step()
+	w.Step()
+	if w.Active("t", CondClockStall) {
+		t.Fatal("stall not cleared after a batched advance landed")
+	}
+}
+
+// TestWatchdogCommitsPerTick: the snapshot surfaces the last window's commits
+// per clock tick — the watchdog-visible mean batch size.
+func TestWatchdogCommitsPerTick(t *testing.T) {
+	var stats stm.Stats
+	var clock atomic.Uint64
+	clock.Store(1)
+	w := New(Config{}, Target{Name: "t", Stats: &stats, Clock: clock.Load})
+
+	for i := 0; i < 8; i++ {
+		stats.RecordStart()
+		stats.RecordCommit(false)
+	}
+	clock.Add(2) // two batches carried eight commits
+	w.Step()
+	snap := w.Snapshot()
+	if got := snap.Targets[0].CommitsPerTick; got != 4 {
+		t.Fatalf("commits per tick = %v, want 4", got)
+	}
+
+	// A tickless window carries the previous figure rather than resetting it.
+	w.Step()
+	if got := w.Snapshot().Targets[0].CommitsPerTick; got != 4 {
+		t.Fatalf("commits per tick after idle window = %v, want 4", got)
+	}
+}
+
 func TestWatchdogStuckSnapshot(t *testing.T) {
 	var stats stm.Stats
 	active := mvutil.NewActiveSet()

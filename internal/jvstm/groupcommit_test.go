@@ -1,0 +1,78 @@
+package jvstm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dsg"
+	"repro/internal/jvstm"
+	"repro/internal/stm"
+	"repro/internal/stm/stmtest"
+)
+
+func gcFactory() stm.TM { return jvstm.New(jvstm.Options{GroupCommit: true}) }
+
+func TestGroupCommitConformance(t *testing.T) {
+	stmtest.Run(t, gcFactory, stmtest.Options{RONeverAborts: true})
+}
+
+func TestGroupCommitConformanceSmallBatches(t *testing.T) {
+	stmtest.Run(t, func() stm.TM {
+		return jvstm.New(jvstm.Options{GroupCommit: true, GroupMaxBatch: 2})
+	}, stmtest.Options{RONeverAborts: true})
+}
+
+func TestGroupCommitSerializabilityDSG(t *testing.T) {
+	dsg.CheckRandom(t, gcFactory(), dsg.RunOptions{})
+}
+
+func TestGroupCommitSerializabilityDSGHighContention(t *testing.T) {
+	dsg.CheckRandom(t, gcFactory(), dsg.RunOptions{Vars: 3, Goroutines: 8, TxPerG: 120, Seed: 42})
+}
+
+// TestGroupCommitOneTickPerBatch mirrors the core assertion: one shared-clock
+// advance per installed batch, with the batch-carried commit count equal to
+// the engine's update-commit count.
+func TestGroupCommitOneTickPerBatch(t *testing.T) {
+	tm := jvstm.New(jvstm.Options{GroupCommit: true})
+	clock0 := tm.Clock()
+	const goroutines, txPerG, vars = 8, 200, 64
+	tvs := make([]*stm.TVar[int], vars)
+	for i := range tvs {
+		tvs[i] = stm.NewTVar(tm, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < txPerG; i++ {
+				v := tvs[(g*txPerG+i*7)%vars]
+				if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					v.Set(tx, v.Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := tm.Stats().Snapshot()
+	if snap.ClockAdvances != snap.GroupBatches {
+		t.Fatalf("clock advances = %d, batches = %d: want exactly one advance per batch",
+			snap.ClockAdvances, snap.GroupBatches)
+	}
+	if snap.GroupBatches == 0 {
+		t.Fatalf("no batches recorded: %+v", snap)
+	}
+	if snap.GroupBatchTxs < snap.Commits || snap.GroupBatchTxs > snap.Commits+snap.Aborts {
+		t.Fatalf("batch txs = %d, commits = %d, aborts = %d",
+			snap.GroupBatchTxs, snap.Commits, snap.Aborts)
+	}
+	if moved := tm.Clock() - clock0; moved != snap.GroupBatchTxs {
+		t.Fatalf("clock moved %d, batch txs = %d", moved, snap.GroupBatchTxs)
+	}
+}

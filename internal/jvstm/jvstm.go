@@ -38,6 +38,17 @@ type Options struct {
 	// MaxVersionDepth is the per-variable chain depth the hard-pressure trim
 	// cuts to. 0 selects the default; only consulted when Budget is set.
 	MaxVersionDepth int
+	// GroupCommit routes every update commit through a flat-combining
+	// leader/follower stage exactly as in internal/core (DESIGN.md §13), with
+	// the classic validation rule applied per batch member: intra-batch
+	// read-write conflicts abort where TWM warps — the paper's contrast,
+	// preserved under batching. The engine's name becomes "jvstm-gc".
+	GroupCommit bool
+	// GroupMaxBatch caps the members installed per combiner batch; 0 selects
+	// mvutil.DefaultMaxBatch. Only consulted when GroupCommit is set.
+	GroupMaxBatch int
+	// GroupHooks injects the combiner's fault points (internal/chaos).
+	GroupHooks *mvutil.BatchHooks
 }
 
 const (
@@ -63,6 +74,16 @@ type TM struct {
 	varsMu  sync.Mutex
 	vars    []*jvar
 	history atomic.Bool
+
+	// combiner is the flat-combining commit stage; nil unless
+	// Options.GroupCommit. The scratch slices and claim map are leader state,
+	// guarded by the combiner's leader lock. shardSeq deals out sticky
+	// publication stripes, one per descriptor lifetime.
+	combiner      *mvutil.Combiner
+	shardSeq      atomic.Uint32
+	batchPend     []*txn
+	batchAdmitted []*txn
+	batchClaimed  map[*jvar]struct{}
 }
 
 // New returns a JVSTM instance.
@@ -77,14 +98,24 @@ func New(opts Options) *TM {
 		opts.MaxVersionDepth = defaultTrimDepth
 	}
 	tm := &TM{opts: opts}
+	if opts.GroupCommit {
+		tm.combiner = mvutil.NewCombiner(opts.GroupMaxBatch, opts.GroupHooks)
+	}
 	tm.clock.Store(1)
 	tm.active = mvutil.NewActiveSet()
-	tm.txns.New = func() any { return &txn{tm: tm, stats: tm.stats.Shard()} }
+	tm.txns.New = func() any {
+		return &txn{tm: tm, stats: tm.stats.Shard(), shard: int(tm.shardSeq.Add(1))}
+	}
 	return tm
 }
 
 // Name implements stm.TM.
-func (tm *TM) Name() string { return "jvstm" }
+func (tm *TM) Name() string {
+	if tm.opts.GroupCommit {
+		return "jvstm-gc"
+	}
+	return "jvstm"
+}
 
 // MultiVersion implements stm.MultiVersioned.
 func (tm *TM) MultiVersion() bool { return true }
@@ -154,6 +185,15 @@ type txn struct {
 	slot     mvutil.Slot
 
 	lastReason stm.AbortReason // why the last Commit returned false
+
+	// shard is this descriptor's sticky combiner publication stripe. req and
+	// inBatch serve the group-commit stage exactly as in internal/core: req is
+	// the embedded combiner request, and inBatch — written only by the leader,
+	// under the combiner's leader lock, always false by the time the request
+	// resolves — marks membership in the batch being installed.
+	shard   int
+	req     mvutil.CommitReq
+	inBatch bool
 }
 
 // ReadOnly implements stm.Tx.
@@ -280,6 +320,13 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	if tx.readOnly || tx.writeSet.Len() == 0 {
 		tx.stats.RecordCommit(tx.readOnly)
 		return true
+	}
+
+	if tm.combiner != nil {
+		// Group commit: publish the write set to the flat-combining stage and
+		// let a leader — possibly this goroutine — perform the whole protocol
+		// batched (groupcommit.go).
+		return tm.commitGrouped(tx)
 	}
 
 	// Version-memory backpressure: before taking any commit lock, make sure

@@ -1,0 +1,92 @@
+package stm
+
+import "context"
+
+// Future is the pending result of an asynchronous transaction started by an
+// AtomicallyAsync variant. The transaction runs on its own goroutine through
+// the ordinary retry loop; the future resolves exactly once, when the
+// transaction commits, returns a user error, or gives up on cancellation or
+// overload. A Future is safe for concurrent use; Wait/WaitCtx/Done may be
+// called any number of times, from any goroutine, in any order.
+//
+// The async entry points exist to overlap commit latency with new work: under
+// the group-commit engines (core and jvstm with GroupCommit set) a committer
+// can be parked in the combiner queue while its submitter keeps producing, so
+// the combiner leader sees real batches even from a single producer. See
+// DESIGN.md §13.
+type Future struct {
+	done chan struct{}
+	err  error // written once, before done is closed
+}
+
+// Done returns a channel closed when the transaction has finished; after it
+// is closed, Wait returns immediately. It composes with select loops the same
+// way context.Done does.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the transaction finishes and returns its result: nil on
+// commit, the body's error verbatim on a user abort, *CancelledError or
+// *OverloadError when the retry loop gave up.
+func (f *Future) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// WaitCtx is Wait bounded by ctx: it returns a *CancelledError when ctx is
+// done first. Abandoning the wait does not abandon the transaction — it keeps
+// running to its own conclusion (cancel the transaction's own context, passed
+// to AtomicallyAsyncCtx or AtomicallyAsyncGated, to stop the retry loop
+// itself).
+func (f *Future) WaitCtx(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return &CancelledError{Err: ctx.Err()}
+	}
+}
+
+// AtomicallyAsync starts fn as a transaction of tm on a new goroutine and
+// returns a Future resolving to what Atomically would have returned. The body
+// contract is unchanged: fn may run several times and must not retain the Tx.
+func AtomicallyAsync(tm TM, readOnly bool, fn func(Tx) error) *Future {
+	return goRun(nil, tm, readOnly, nil, nil, fn)
+}
+
+// AtomicallyAsyncCtx is AtomicallyAsync with cancellation: the transaction's
+// retry loop checks ctx between attempts (and while queued at an admission
+// gate), resolving the future with a *CancelledError once ctx is done. An
+// attempt already in flight — including one parked in a group-commit combiner
+// queue, whose commit outcome is owed to a leader — always finishes first, so
+// cancellation never abandons a published commit request.
+func AtomicallyAsyncCtx(ctx context.Context, tm TM, readOnly bool, fn func(Tx) error) *Future {
+	return goRun(ctx, tm, readOnly, nil, nil, fn)
+}
+
+// AtomicallyAsyncGated is AtomicallyAsync wired through an admission gate and
+// a contention-management policy, mirroring AtomicallyGated: the spawned
+// goroutine acquires a gate slot before its first attempt and holds it until
+// the future resolves, so async submitters saturate at the door (resolving
+// with *OverloadError) instead of multiplying in-flight contenders. A nil g,
+// p and ctx reduce to plain AtomicallyAsync.
+func AtomicallyAsyncGated(ctx context.Context, tm TM, readOnly bool, g *AdmissionGate, p Policy, fn func(Tx) error) *Future {
+	var cm ContentionManager
+	if p != nil {
+		cm = p.NewManager()
+	}
+	return goRun(ctx, tm, readOnly, g, cm, fn)
+}
+
+// goRun spawns the shared retry loop on its own goroutine and returns the
+// future its result resolves. The goroutine's lifetime is bounded by the
+// loop's own exit conditions (commit, user error, cancellation, overload), so
+// async callers leak nothing as long as a caller with a ctx eventually
+// cancels it — the same liveness contract as the synchronous variants.
+func goRun(ctx context.Context, tm TM, readOnly bool, gate *AdmissionGate, cm ContentionManager, fn func(Tx) error) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		f.err = run(ctx, tm, readOnly, gate, cm, fn)
+		close(f.done)
+	}()
+	return f
+}

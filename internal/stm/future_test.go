@@ -1,0 +1,121 @@
+package stm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAsyncCommitsAndResolvesOnce(t *testing.T) {
+	tm := &fakeTM{}
+	v := tm.NewVar(0)
+	f := AtomicallyAsync(tm, false, func(tx Tx) error {
+		tx.Write(v, 7)
+		return nil
+	})
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Done is closed and every further Wait/WaitCtx returns the same result.
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("Done not closed after Wait returned")
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatalf("second Wait = %v", err)
+	}
+	if err := f.WaitCtx(context.Background()); err != nil {
+		t.Fatalf("WaitCtx after resolution = %v", err)
+	}
+	if tm.commits != 1 {
+		t.Fatalf("commits = %d", tm.commits)
+	}
+}
+
+func TestAsyncUserErrorVerbatim(t *testing.T) {
+	tm := &fakeTM{}
+	boom := errors.New("boom")
+	f := AtomicallyAsync(tm, false, func(Tx) error { return boom })
+	if err := f.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncCtxCancelStopsRetrying(t *testing.T) {
+	// A TM that never accepts commits: only cancellation ends the goroutine.
+	tm := &fakeTM{failCommits: 1 << 30}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := AtomicallyAsyncCtx(ctx, tm, false, func(Tx) error { return nil })
+	cancel()
+	err := f.Wait()
+	var ce *CancelledError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want *CancelledError wrapping context.Canceled", err)
+	}
+}
+
+func TestAsyncWaitCtxAbandonsWaitNotTransaction(t *testing.T) {
+	tm := &fakeTM{}
+	release := make(chan struct{})
+	f := AtomicallyAsync(tm, false, func(Tx) error {
+		<-release //twm:impure test gate; fakeTM commits first try, body runs once
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := f.WaitCtx(ctx)
+	var ce *CancelledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("WaitCtx = %v, want *CancelledError", err)
+	}
+	// The transaction was not cancelled with the wait: it still commits.
+	close(release)
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if tm.commits != 1 {
+		t.Fatalf("commits = %d", tm.commits)
+	}
+}
+
+func TestAsyncGatedHoldsSlotUntilResolved(t *testing.T) {
+	tm := &fakeTM{}
+	g := NewAdmissionGate(1, 0)
+	release := make(chan struct{})
+	first := AtomicallyAsyncGated(context.Background(), tm, false, g, nil, func(Tx) error {
+		<-release //twm:impure test gate; fakeTM commits first try, body runs once
+		return nil
+	})
+	// Wait until the first transaction holds the only slot.
+	for g.InFlight() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// With maxWait=0 the saturated gate sheds the second submitter.
+	second := AtomicallyAsyncGated(context.Background(), tm, false, g, nil, func(Tx) error { return nil })
+	var oe *OverloadError
+	if err := second.Wait(); !errors.As(err, &oe) {
+		t.Fatalf("second future = %v, want *OverloadError", err)
+	}
+	close(release)
+	if err := first.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// The slot is released once the future resolves.
+	for g.InFlight() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAsyncGatedNilGateAndPolicy(t *testing.T) {
+	tm := &fakeTM{}
+	v := tm.NewVar(0)
+	f := AtomicallyAsyncGated(nil, tm, false, nil, nil, func(tx Tx) error {
+		tx.Write(v, 1)
+		return nil
+	})
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
