@@ -35,7 +35,9 @@ func main() {
 			if balance < amount {
 				return fmt.Errorf("insufficient funds in account %d", from)
 			}
-			accs[from].Set(tx, balance-amount)
+			// The balance guard makes this read-then-write window inherent;
+			// the directive below is how twm-lint suppressions look.
+			accs[from].Set(tx, balance-amount) //twm:allow abortshape balance check precedes the debit by design
 			accs[to].Set(tx, accs[to].Get(tx)+amount)
 			return nil
 		})

@@ -1,0 +1,323 @@
+// Package abortshape implements the twm-lint analyzer that flags
+// statically-authored abort risk in transaction bodies.
+//
+// The paper's runtime machinery (time-warp commits, multi-version reads)
+// minimizes aborts, but two abort-prone shapes are decided at the call
+// site, before any transaction runs:
+//
+//   - Read-then-write upgrades. A body that reads a TVar, computes or
+//     branches on the value, and only later writes the same TVar opens a
+//     window in which concurrent readers of that TVar accumulate
+//     anti-dependencies; the eventual write turns each of them into a
+//     time-warp pivot edge (the paper's T_j -rw-> T_i with T_i
+//     committing earlier — exactly the conflict notion arXiv 1307.8256
+//     formalizes for multi-version histories). The analyzer reports a
+//     write to a TVar whose read *completed before the write began* and
+//     *preceded every write to it* — a read after the first write is a
+//     read-your-write on a TVar the transaction already owns. The
+//     atomic read-modify-write idiom `x.Set(tx, x.Get(tx)+1)`, where the
+//     read is nested inside the write's own arguments, has no such window
+//     and stays clean — the rule targets the check-then-act shape, not
+//     every RMW.
+//
+//   - Forfeited read-only guarantees. A body whose reachable effect is
+//     only reads — no Tx.Write, TVar.Set or stm.Retry, transitively
+//     through same-package helpers and, via WritesFact, across package
+//     boundaries — but whose runner receives constant readOnly=false
+//     executes on the update path: it validates, can abort, and gives up
+//     the mv-permissive no-abort guarantee (arXiv 1305.6624) the engines
+//     grant declared read-only transactions for free.
+//
+// TVar identity is syntactic where it must be: a receiver that is a plain
+// identifier resolves to its object; anything else (`accs[i]`, `s.field`)
+// is keyed by its source text, so distinct index expressions are assumed
+// distinct. `//twm:allow abortshape <reason>` suppresses a finding, like
+// every twm-lint rule; inherent check-then-act logic (a bounded withdraw,
+// a compare-and-publish) is the expected use.
+package abortshape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/stmtypes"
+)
+
+// Analyzer is the abortshape analysis.
+var Analyzer = &framework.Analyzer{
+	Name:      "abortshape",
+	Doc:       "report read-then-write TVar upgrades and effectively read-only bodies not declared readOnly",
+	Run:       run,
+	FactTypes: []framework.Fact{&WritesFact{}},
+}
+
+// WritesFact marks a function that (transitively) reaches a transactional
+// write: Tx.Write, TVar.Set or stm.Retry. Its absence on an analyzed
+// dependency's function means the function is write-free, which is what
+// lets the read-only-in-effect rule trust cross-package helpers.
+type WritesFact struct {
+	What string
+}
+
+// AFact marks WritesFact as a framework fact.
+func (*WritesFact) AFact() {}
+
+func (f *WritesFact) String() string { return "writes: " + f.What }
+
+type checker struct {
+	pass       *framework.Pass
+	decls      map[*types.Func]*ast.FuncDecl
+	summaries  map[*types.Func]*writeSummary
+	inProgress map[*types.Func]bool
+}
+
+// writeSummary describes a function's write reachability; unknown is set
+// when the function hands its Tx to a callee the analysis cannot see
+// through (a func value, an interface method), which blocks the
+// read-only-in-effect rule but exports no fact.
+type writeSummary struct {
+	what    string // first write reached, as a chain; "" if none
+	unknown bool
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{
+		pass:       pass,
+		decls:      declaredFuncs(pass),
+		summaries:  make(map[*types.Func]*writeSummary),
+		inProgress: make(map[*types.Func]bool),
+	}
+	for _, body := range stmtypes.FindBodies(pass.TypesInfo, pass.Files) {
+		if body.ReadOnlyKnown && body.ReadOnly {
+			continue // write-free by contract; rodiscipline polices it
+		}
+		c.checkUpgrades(body)
+		c.checkReadOnlyInEffect(body)
+	}
+	for fn := range c.decls {
+		if s := c.summary(fn); s.what != "" {
+			pass.ExportObjectFact(fn, &WritesFact{What: s.what})
+		}
+	}
+	return nil
+}
+
+func declaredFuncs(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// access is one transactional read or write of a TVar within a body.
+type access struct {
+	pos, end token.Pos
+	text     string // receiver/var expression, for the message
+}
+
+// varKey gives the identity under which reads and writes of an expression
+// are correlated: the types.Object for a plain identifier, the source
+// text otherwise.
+func varKey(info *types.Info, e ast.Expr) any {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+	}
+	return types.ExprString(e)
+}
+
+// checkUpgrades reports writes to a TVar some read of which completed
+// before the write began (the upgrade window).
+func (c *checker) checkUpgrades(body stmtypes.Body) {
+	info := c.pass.TypesInfo
+	reads := make(map[any][]access)
+	var writes []struct {
+		key any
+		acc access
+	}
+	ast.Inspect(body.Lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var target ast.Expr
+		isWrite := false
+		switch {
+		case stmtypes.IsTVarGet(info, call):
+			target = ast.Unparen(call.Fun).(*ast.SelectorExpr).X
+		case stmtypes.IsTxRead(info, call):
+			if len(call.Args) > 0 {
+				target = call.Args[0]
+			}
+		case stmtypes.IsTVarSet(info, call):
+			target = ast.Unparen(call.Fun).(*ast.SelectorExpr).X
+			isWrite = true
+		case stmtypes.IsTxWrite(info, call):
+			if len(call.Args) > 0 {
+				target = call.Args[0]
+				isWrite = true
+			}
+		}
+		if target == nil {
+			return true
+		}
+		acc := access{pos: call.Pos(), end: call.End(), text: types.ExprString(ast.Unparen(target))}
+		key := varKey(info, target)
+		if isWrite {
+			writes = append(writes, struct {
+				key any
+				acc access
+			}{key, acc})
+		} else {
+			reads[key] = append(reads[key], acc)
+		}
+		return true
+	})
+	// A read after the first write to the same TVar is a read-your-write:
+	// the transaction is already a writer of that TVar, so no later write
+	// can upgrade it. Only reads before the first write open a window.
+	firstWrite := make(map[any]token.Pos)
+	for _, w := range writes {
+		if p, ok := firstWrite[w.key]; !ok || w.acc.pos < p {
+			firstWrite[w.key] = w.acc.pos
+		}
+	}
+	for _, w := range writes {
+		for _, r := range reads[w.key] {
+			if r.end <= w.acc.pos && r.pos < firstWrite[w.key] {
+				c.pass.Reportf(w.acc.pos,
+					"read-then-write upgrade of %s: the read at %s completed before this write, so every concurrent reader in the window becomes a time-warp pivot anti-dependency; shrink the window to the RMW form or justify with //twm:allow abortshape",
+					w.acc.text, c.pass.Fset.Position(r.pos))
+				break
+			}
+		}
+	}
+}
+
+// checkReadOnlyInEffect reports update-mode bodies (constant
+// readOnly=false) that read but provably never write.
+func (c *checker) checkReadOnlyInEffect(body stmtypes.Body) {
+	if !body.ReadOnlyKnown || body.ReadOnly || body.Call == nil {
+		return
+	}
+	info := c.pass.TypesInfo
+	hasRead := false
+	ast.Inspect(body.Lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok &&
+			(stmtypes.IsTVarGet(info, call) || stmtypes.IsTxRead(info, call)) {
+			hasRead = true
+		}
+		return !hasRead
+	})
+	if !hasRead {
+		return // trivial or opaque body: nothing to gain from the flag
+	}
+	s := c.scanWrites(body.Lit.Body)
+	if s.what == "" && !s.unknown {
+		c.pass.Reportf(body.Call.Pos(),
+			"transaction body only reads (no Tx.Write, TVar.Set or stm.Retry reachable) but runs with readOnly=false; declare readOnly=true for the multi-version no-abort guarantee, or //twm:allow abortshape if exercising the update path is deliberate")
+	}
+}
+
+func (c *checker) summary(fn *types.Func) *writeSummary {
+	if s, ok := c.summaries[fn]; ok {
+		return s
+	}
+	if c.inProgress[fn] {
+		return &writeSummary{}
+	}
+	decl := c.decls[fn]
+	if decl == nil {
+		return &writeSummary{}
+	}
+	c.inProgress[fn] = true
+	s := c.scanWrites(decl.Body)
+	c.inProgress[fn] = false
+	c.summaries[fn] = s
+	return s
+}
+
+// scanWrites computes write reachability for a function or body: direct
+// Tx.Write/TVar.Set/stm.Retry, transitively through same-package callees,
+// and across packages through WritesFact. Handing the Tx to a callee the
+// analysis cannot resolve makes the result unknown.
+func (c *checker) scanWrites(body ast.Node) *writeSummary {
+	info := c.pass.TypesInfo
+	s := &writeSummary{}
+	reach := func(what string) {
+		if s.what == "" {
+			s.what = what
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case stmtypes.IsTxWrite(info, call):
+			reach("Tx.Write")
+		case stmtypes.IsTVarSet(info, call):
+			reach("TVar.Set")
+		default:
+			fn := stmtypes.FuncOf(info, call)
+			if fn == nil {
+				if passesTx(info, call) {
+					s.unknown = true // func value or method value taking the Tx
+				}
+				return true
+			}
+			if stmtypes.IsStmFunc(fn, "Retry") {
+				reach("stm.Retry")
+				return true
+			}
+			if stmtypes.PkgPathOf(fn) == stmtypes.StmPath {
+				return true // the runner/accessor surface itself
+			}
+			if fn.Pkg() == c.pass.Pkg {
+				sub := c.summary(fn)
+				if sub.what != "" {
+					reach("call to " + fn.Name() + ", which reaches " + sub.what)
+				}
+				if sub.unknown || (c.decls[fn] == nil && passesTx(info, call)) {
+					s.unknown = true
+				}
+				return true
+			}
+			// Cross-package: the callee's package was analyzed before this
+			// one (Session ordering in source mode, unit ordering in vet
+			// mode), so a missing WritesFact means write-free. Only
+			// packages of this module can name stm.Tx in a signature, so
+			// there is no "never analyzed but takes a Tx" case.
+			var f WritesFact
+			if c.pass.ImportObjectFact(fn, &f) {
+				reach("call to " + fn.Pkg().Name() + "." + fn.Name() + ", which reaches " + f.What)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// passesTx reports whether any argument of call has static type stm.Tx.
+func passesTx(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && stmtypes.IsTx(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

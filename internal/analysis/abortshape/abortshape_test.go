@@ -1,0 +1,19 @@
+package abortshape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/abortshape"
+	"repro/internal/analysis/framework/checktest"
+)
+
+func TestAbortShape(t *testing.T) {
+	checktest.Run(t, "shape", abortshape.Analyzer)
+}
+
+// TestAbortShapeCrossPackage proves write reachability crosses package
+// boundaries via WritesFact: a write-free cross-package helper does not
+// shield a body from the read-only-in-effect rule, and a writing one does.
+func TestAbortShapeCrossPackage(t *testing.T) {
+	checktest.Run(t, "crossshape/consumer", abortshape.Analyzer)
+}

@@ -1,0 +1,25 @@
+// Package consumer proves the read-only-in-effect rule sees through
+// package boundaries: helper.Sum is write-free (no WritesFact), so a body
+// that only calls it forfeits the no-abort guarantee; helper.Bump carries
+// a WritesFact, so the same body shape with Bump is a real update.
+package consumer
+
+import (
+	"crossshape/helper"
+
+	"repro/internal/stm"
+)
+
+func bodies(tm stm.TM, x *stm.TVar[int], xs []*stm.TVar[int]) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // want `only reads .* readOnly=false`
+		_ = helper.Sum(tx, xs)
+		_ = x.Get(tx)
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // cross-package write: clean
+		if helper.Sum(tx, xs) > 0 {
+			helper.Bump(tx, x)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,19 @@
+// Package helper is the dependency side of the cross-package abortshape
+// golden test: WritesFact must mark Bump (so bodies calling it are not
+// read-only in effect) and must not mark Sum (so bodies that only call
+// Sum are).
+package helper
+
+import "repro/internal/stm"
+
+// Bump increments the counter. // want Bump:"writes: TVar.Set"
+func Bump(tx stm.Tx, x *stm.TVar[int]) { x.Set(tx, x.Get(tx)+1) }
+
+// Sum only reads: no fact.
+func Sum(tx stm.Tx, xs []*stm.TVar[int]) int {
+	total := 0
+	for _, x := range xs {
+		total += x.Get(tx)
+	}
+	return total
+}

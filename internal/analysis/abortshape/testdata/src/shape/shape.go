@@ -1,0 +1,103 @@
+// Package shape is twm-lint golden-test input for the abortshape analyzer:
+// read-then-write upgrade windows, effectively read-only bodies run in
+// update mode, and the //twm:allow escape hatch for both.
+package shape
+
+import (
+	"errors"
+
+	"repro/internal/stm"
+)
+
+func upgrades(tm stm.TM, x, y *stm.TVar[int], arr []*stm.TVar[int]) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		v := x.Get(tx)
+		if v <= 0 {
+			return errors.New("empty")
+		}
+		x.Set(tx, v-1) // want `read-then-write upgrade of x`
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		x.Set(tx, x.Get(tx)+1) // RMW form: the read has no window; clean
+		y.Set(tx, 7)           // never read: clean
+		_ = x.Get(tx)          // read after write: clean
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		x.Set(tx, 1)
+		v := x.Get(tx) // read-your-write: x is already in the write set
+		x.Set(tx, v+1) // so this is no upgrade; clean
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		a := arr[0].Get(tx)
+		arr[1].Set(tx, a) // different index expression: assumed distinct, clean
+		arr[0].Set(tx, a) // want `read-then-write upgrade of arr\[0\]`
+		return nil
+	})
+}
+
+func rawTxUpgrade(tm stm.TM, v stm.Var) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		cur := tx.Read(v).(int)
+		if cur%2 == 0 {
+			return nil
+		}
+		tx.Write(v, cur+1) // want `read-then-write upgrade of v`
+		return nil
+	})
+}
+
+func allowedUpgrade(tm stm.TM, x *stm.TVar[int]) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		v := x.Get(tx)
+		//twm:allow abortshape bounded-withdraw check-then-act is inherent here
+		x.Set(tx, v-1)
+		return nil
+	})
+}
+
+func readOnlyInEffect(tm stm.TM, x *stm.TVar[int]) (got int) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // want `only reads .* readOnly=false`
+		got = x.Get(tx)
+		return nil
+	})
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error { // declared read-only: clean
+		got = x.Get(tx)
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // writes: clean
+		x.Set(tx, x.Get(tx)+1)
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // retries: clean
+		if x.Get(tx) == 0 {
+			stm.Retry(stm.AbortReason(0))
+		}
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // helper writes: clean
+		bump(tx, x)
+		return nil
+	})
+	return got
+}
+
+func opaque(tm stm.TM, x *stm.TVar[int], f func(stm.Tx)) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error { // Tx escapes to a func value: unknown, clean
+		_ = x.Get(tx)
+		f(tx)
+		return nil
+	})
+}
+
+func allowedReadOnly(tm stm.TM, x *stm.TVar[int]) {
+	//twm:allow abortshape deliberately exercising the update path's empty-write-set commit
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		_ = x.Get(tx)
+		return nil
+	})
+}
+
+func bump(tx stm.Tx, x *stm.TVar[int]) { x.Set(tx, x.Get(tx)+1) }

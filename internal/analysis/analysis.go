@@ -5,10 +5,12 @@
 package analysis
 
 import (
+	"repro/internal/analysis/abortshape"
 	"repro/internal/analysis/atomichygiene"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/rodiscipline"
 	"repro/internal/analysis/txescape"
+	"repro/internal/analysis/txfuture"
 	"repro/internal/analysis/txpurity"
 )
 
@@ -19,5 +21,7 @@ func All() []*framework.Analyzer {
 		txpurity.Analyzer,
 		rodiscipline.Analyzer,
 		atomichygiene.Analyzer,
+		txfuture.Analyzer,
+		abortshape.Analyzer,
 	}
 }

@@ -40,3 +40,9 @@ type plain struct {
 }
 
 func bumpPlain(p *plain) { p.n++ }
+
+// The framework-level //twm:allow directive works alongside the analyzer's
+// own //twm:nonatomic hatch.
+func allowedMixedWrite(c *counters) {
+	c.aligned = 7 //twm:allow atomichygiene init-before-publish; no concurrent access yet
+}

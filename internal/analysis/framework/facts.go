@@ -1,0 +1,258 @@
+package framework
+
+// This file is the stdlib-only analog of golang.org/x/tools/go/analysis
+// facts: serializable deductions an analyzer attaches to objects of the
+// package it is analyzing, which later analyses of *importing* packages can
+// read back. Facts are what turn a per-package checker into an
+// interprocedural one — txpurity's "this function is impure" summary, for
+// example, survives the package boundary as an ImpureFact instead of being
+// forgotten when the pass ends.
+//
+// Two deliberate simplifications relative to x/tools:
+//
+//   - Facts are keyed by (package path, object key) strings rather than by
+//     go/types object identity plus objectpath. The repository's analyzers
+//     only attach facts to package-level functions, variables and methods,
+//     so a name-based key (see ObjectKey) is exact for everything they do
+//     and stays stable between a source type-check and an export-data
+//     type-check of the same package — the property the vet protocol needs.
+//   - The store is shared by all analyzers of a run instead of being
+//     namespaced per analyzer. Fact *types* provide the namespace: an
+//     analyzer only sees facts whose dynamic type it asks for, and gob
+//     refuses to decode a type nobody registered.
+//
+// In source mode (and checktest) one FactStore spans every package of the
+// session, populated in dependency order by Session.Analyze. In `go vet
+// -vettool` mode each package unit decodes the gob-encoded stores of its
+// dependencies (PackageVetx), analyzes, and re-encodes the union to its
+// VetxOutput, so facts flow along the build graph exactly like export data.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is a serializable deduction about an object. Implementations must be
+// pointers to gob-encodable structs; the AFact marker keeps arbitrary types
+// from being stored by accident. Each fact type used by an analyzer must be
+// listed in its FactTypes so the framework can gob-register it.
+type Fact interface {
+	AFact()
+}
+
+// ObjectKey returns a stable identity for obj usable across separate
+// type-checks of the same package (source vs. export data): the normalized
+// package path plus a kind-tagged name. Only package-level objects and
+// methods are keyable; ok is false otherwise (no facts for locals, fields
+// or parameters — the analyzers never need them).
+func ObjectKey(obj types.Object) (pkgPath, key string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkgPath = normVariantPath(obj.Pkg().Path())
+	if fn, isFn := obj.(*types.Func); isFn {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if p, isPtr := recv.(*types.Pointer); isPtr {
+				recv = p.Elem()
+			}
+			named, isNamed := recv.(*types.Named)
+			if !isNamed {
+				return "", "", false // method on an unnamed type: not keyable
+			}
+			return pkgPath, "M:" + named.Obj().Name() + "." + fn.Name(), true
+		}
+		return pkgPath, "F:" + fn.Name(), true
+	}
+	// Remaining kinds (Var, Const, TypeName) are keyable only at package
+	// scope, where the name is unique.
+	if obj.Parent() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return pkgPath, "O:" + obj.Name(), true
+	}
+	return "", "", false
+}
+
+// normVariantPath strips the " [pkg.test]" suffix the go command appends to
+// package paths of test variants, so a fact exported while vetting the test
+// variant resolves against objects of the ordinary package and vice versa.
+func normVariantPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// factKey identifies one object in the store.
+type factKey struct {
+	PkgPath string
+	Obj     string
+}
+
+// ObjectFact pairs a keyed object with one attached fact, for enumeration
+// (checktest assertions, the vetx encoder).
+type ObjectFact struct {
+	PkgPath string
+	ObjKey  string
+	// Object is the in-process object the fact was exported on, when the
+	// export happened in this process; nil for facts decoded from a vetx
+	// file (the importing unit has no syntax for its dependencies).
+	Object types.Object
+	Fact   Fact
+}
+
+// FactStore holds the object facts of one analysis session or vet unit.
+// The zero value is not usable; call NewFactStore.
+type FactStore struct {
+	facts map[factKey][]Fact
+	objs  map[factKey]types.Object // position info for in-process exports
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		facts: make(map[factKey][]Fact),
+		objs:  make(map[factKey]types.Object),
+	}
+}
+
+// ExportObjectFact attaches fact to obj, replacing any existing fact of the
+// same dynamic type. Unkeyable objects are ignored (matching x/tools, where
+// exporting on a local is a no-op for importers).
+func (s *FactStore) ExportObjectFact(obj types.Object, fact Fact) {
+	pkg, key, ok := ObjectKey(obj)
+	if !ok {
+		return
+	}
+	k := factKey{pkg, key}
+	s.objs[k] = obj
+	for i, f := range s.facts[k] {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			s.facts[k][i] = fact
+			return
+		}
+	}
+	s.facts[k] = append(s.facts[k], fact)
+}
+
+// ImportObjectFact copies the fact of ptr's dynamic type attached to obj
+// into ptr and reports whether one was found. ptr must be a pointer to a
+// fact struct, as passed to ExportObjectFact.
+func (s *FactStore) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	pkg, key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	for _, f := range s.facts[factKey{pkg, key}] {
+		if reflect.TypeOf(f) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// AllObjectFacts enumerates every fact in the store, sorted by package,
+// object and fact type for deterministic output.
+func (s *FactStore) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, facts := range s.facts {
+		for _, f := range facts {
+			out = append(out, ObjectFact{PkgPath: k.PkgPath, ObjKey: k.Obj, Object: s.objs[k], Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		if out[i].ObjKey != out[j].ObjKey {
+			return out[i].ObjKey < out[j].ObjKey
+		}
+		return fmt.Sprintf("%T", out[i].Fact) < fmt.Sprintf("%T", out[j].Fact)
+	})
+	return out
+}
+
+// factRecord is the gob wire form of one fact.
+type factRecord struct {
+	PkgPath string
+	ObjKey  string
+	Fact    Fact
+}
+
+// vetxPayload is the gob wire form of a whole store. A version tag guards
+// against stale vet caches built by an older tool (the go command hashes
+// the tool binary into the cache key, so this is belt-and-braces).
+type vetxPayload struct {
+	Version int
+	Facts   []factRecord
+}
+
+const vetxVersion = 1
+
+// EncodeVetx serializes every fact in the store — the unit's own exports
+// and the facts it imported from dependencies — so a dependent unit sees
+// the transitive closure even if the go command hands it only direct
+// dependencies' vetx files.
+func (s *FactStore) EncodeVetx() ([]byte, error) {
+	payload := vetxPayload{Version: vetxVersion}
+	for _, of := range s.AllObjectFacts() {
+		payload.Facts = append(payload.Facts, factRecord{PkgPath: of.PkgPath, ObjKey: of.ObjKey, Fact: of.Fact})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeVetx merges the facts of one encoded store (a dependency's vetx
+// file) into s. Empty input — the vetx of a unit analyzed by a facts-free
+// tool version, or the placeholder the go command requires even from
+// fact-free runs — decodes to nothing. Same-type facts already present win
+// (a unit's own exports are fresher than a dependency's re-export).
+func (s *FactStore) DecodeVetx(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var payload vetxPayload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	if payload.Version != vetxVersion {
+		return nil // a different tool era's facts: ignore, never fail the build
+	}
+	for _, rec := range payload.Facts {
+		if rec.Fact == nil {
+			continue
+		}
+		k := factKey{rec.PkgPath, rec.ObjKey}
+		dup := false
+		for _, f := range s.facts[k] {
+			if reflect.TypeOf(f) == reflect.TypeOf(rec.Fact) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.facts[k] = append(s.facts[k], rec.Fact)
+		}
+	}
+	return nil
+}
+
+// RegisterFactTypes gob-registers the fact types declared by the analyzers
+// so vetx payloads can carry them as interface values. Safe to call more
+// than once with the same types.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package framework
+
+import (
+	"encoding/gob"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// markFact is the test's fact type.
+type markFact struct {
+	Note string
+}
+
+func (*markFact) AFact() {}
+
+func init() { gob.Register(&markFact{}) }
+
+const factSrc = `package p
+
+func Fn() {}
+
+type T struct{}
+
+func (T) Value() {}
+func (*T) Pointer() {}
+
+var V int
+`
+
+// checkPkg type-checks factSrc in a fresh universe, simulating the
+// separate type-check worlds of two vet units (source vs export data: the
+// objects differ by identity but agree by name).
+func checkPkg(t *testing.T, path string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func lookup(t *testing.T, pkg *types.Package, name string) types.Object {
+	t.Helper()
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("no object %s", name)
+	}
+	return obj
+}
+
+func method(t *testing.T, pkg *types.Package, typ, name string) types.Object {
+	t.Helper()
+	named := lookup(t, pkg, typ).Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == name {
+			return named.Method(i)
+		}
+	}
+	t.Fatalf("no method %s.%s", typ, name)
+	return nil
+}
+
+// TestFactVetxRoundTrip drives a fact through the exact path the vet
+// protocol uses: export on objects of one type-check universe, gob-encode
+// (EncodeVetx), gob-decode into a dependent unit's store (DecodeVetx), and
+// import against objects of a second, independent type-check of the same
+// package.
+func TestFactVetxRoundTrip(t *testing.T) {
+	producer := checkPkg(t, "example.com/p")
+	store := NewFactStore()
+	store.ExportObjectFact(lookup(t, producer, "Fn"), &markFact{Note: "func"})
+	store.ExportObjectFact(lookup(t, producer, "V"), &markFact{Note: "var"})
+	store.ExportObjectFact(method(t, producer, "T", "Value"), &markFact{Note: "value method"})
+	store.ExportObjectFact(method(t, producer, "T", "Pointer"), &markFact{Note: "pointer method"})
+
+	payload, err := store.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imported := NewFactStore()
+	if err := imported.DecodeVetx(payload); err != nil {
+		t.Fatal(err)
+	}
+
+	consumer := checkPkg(t, "example.com/p")
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{lookup(t, consumer, "Fn"), "func"},
+		{lookup(t, consumer, "V"), "var"},
+		{method(t, consumer, "T", "Value"), "value method"},
+		{method(t, consumer, "T", "Pointer"), "pointer method"},
+	}
+	for _, c := range cases {
+		var f markFact
+		if !imported.ImportObjectFact(c.obj, &f) {
+			t.Errorf("no fact for %s after round trip", c.obj.Name())
+			continue
+		}
+		if f.Note != c.want {
+			t.Errorf("fact for %s = %q, want %q", c.obj.Name(), f.Note, c.want)
+		}
+	}
+	if got := len(imported.AllObjectFacts()); got != 4 {
+		t.Errorf("AllObjectFacts after round trip: %d facts, want 4", got)
+	}
+
+	// No fact was exported on T itself.
+	var f markFact
+	if imported.ImportObjectFact(lookup(t, consumer, "T"), &f) {
+		t.Error("unexpected fact on T")
+	}
+}
+
+// TestFactTestVariantPaths proves a fact exported while analyzing a test
+// variant ("p [p.test]") resolves against objects of the ordinary package
+// and vice versa — the go command vets both spellings of the same package.
+func TestFactTestVariantPaths(t *testing.T) {
+	variant := checkPkg(t, "example.com/p [example.com/p.test]")
+	store := NewFactStore()
+	store.ExportObjectFact(lookup(t, variant, "Fn"), &markFact{Note: "from variant"})
+
+	plain := checkPkg(t, "example.com/p")
+	var f markFact
+	if !store.ImportObjectFact(lookup(t, plain, "Fn"), &f) || f.Note != "from variant" {
+		t.Errorf("fact exported under test-variant path not visible under plain path (got %+v)", f)
+	}
+}
+
+// TestFactReplaceAndEmptyDecode covers the store edge cases the protocol
+// relies on: same-type export replaces, empty vetx payloads (from
+// facts-free tool versions) decode to nothing, and decode does not
+// overwrite fresher local facts.
+func TestFactReplaceAndEmptyDecode(t *testing.T) {
+	pkg := checkPkg(t, "example.com/p")
+	fn := lookup(t, pkg, "Fn")
+
+	store := NewFactStore()
+	store.ExportObjectFact(fn, &markFact{Note: "one"})
+	store.ExportObjectFact(fn, &markFact{Note: "two"})
+	var f markFact
+	if !store.ImportObjectFact(fn, &f) || f.Note != "two" {
+		t.Errorf("re-export did not replace: got %+v", f)
+	}
+	if n := len(store.AllObjectFacts()); n != 1 {
+		t.Errorf("re-export duplicated the fact: %d entries", n)
+	}
+
+	if err := store.DecodeVetx(nil); err != nil {
+		t.Errorf("empty payload: %v", err)
+	}
+
+	// A dependency's re-export of the same object must not clobber the
+	// unit's own fresher fact.
+	stale := NewFactStore()
+	stale.ExportObjectFact(fn, &markFact{Note: "stale"})
+	payload, err := stale.EncodeVetx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DecodeVetx(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ImportObjectFact(fn, &f) || f.Note != "two" {
+		t.Errorf("decode clobbered local fact: got %+v", f)
+	}
+}

@@ -28,6 +28,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists prototype values (non-nil pointers) of every Fact
+	// type the analyzer exports or imports, for gob registration. An
+	// analyzer with no FactTypes neither produces nor consumes facts and
+	// is skipped entirely in facts-only (VetxOnly) units.
+	FactTypes []Fact
 }
 
 // Pass presents one package to an Analyzer. It mirrors analysis.Pass.
@@ -42,6 +47,23 @@ type Pass struct {
 	TypesSizes types.Sizes
 
 	report func(Diagnostic)
+	facts  *FactStore
+}
+
+// ExportObjectFact attaches a fact to obj for later passes — including
+// passes over other packages that import this one. Facts on local objects
+// are silently dropped (see ObjectKey).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts != nil {
+		p.facts.ExportObjectFact(obj, fact)
+	}
+}
+
+// ImportObjectFact copies the fact of ptr's dynamic type attached to obj —
+// by this pass or by an earlier pass over the package that declares obj —
+// into ptr, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.facts != nil && p.facts.ImportObjectFact(obj, ptr)
 }
 
 // Diagnostic is one finding, anchored to a source position.
@@ -66,7 +88,19 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 
 // RunAnalyzers applies each analyzer to the package described by (fset,
 // files, pkg, info) and returns the combined diagnostics sorted by position.
+// Facts stay private to this one package; use RunAnalyzersFacts to thread a
+// session-wide store.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(analyzers, fset, files, pkg, info, sizes, NewFactStore())
+}
+
+// RunAnalyzersFacts is RunAnalyzers with an explicit fact store: analyzers
+// read facts that earlier analyses (of this package's dependencies) left in
+// the store and add their own for later ones. Diagnostics suppressed by a
+// `//twm:allow <rule>` directive on their line or the line above are
+// dropped here, so every analyzer honors the directive uniformly.
+func RunAnalyzersFacts(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes, facts *FactStore) ([]Diagnostic, error) {
+	allows := CollectAllows(fset, files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -76,7 +110,12 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			Pkg:        pkg,
 			TypesInfo:  info,
 			TypesSizes: sizes,
-			report:     func(d Diagnostic) { diags = append(diags, d) },
+			facts:      facts,
+			report: func(d Diagnostic) {
+				if !allowedAt(fset, allows, d) {
+					diags = append(diags, d)
+				}
+			},
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -84,6 +123,64 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+// AllowDirective is one parsed `//twm:allow rule[,rule] justification`
+// comment: a per-line, per-rule suppression every analyzer honors, with
+// the justification kept for the -allowlist audit.
+type AllowDirective struct {
+	File          string
+	Line          int
+	Rules         []string
+	Justification string
+}
+
+// CollectAllows parses every //twm:allow directive in the files.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "twm:allow")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, AllowDirective{
+					File:          pos.Filename,
+					Line:          pos.Line,
+					Rules:         strings.Split(fields[0], ","),
+					Justification: strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// allowedAt reports whether d is suppressed by a directive naming d's
+// analyzer (or "all") on d's line or the line above.
+func allowedAt(fset *token.FileSet, allows []AllowDirective, d Diagnostic) bool {
+	if len(allows) == 0 {
+		return false
+	}
+	p := fset.Position(d.Pos)
+	for _, a := range allows {
+		if a.File != p.Filename || (a.Line != p.Line && a.Line != p.Line-1) {
+			continue
+		}
+		for _, r := range a.Rules {
+			if r == d.Analyzer || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // NewInfo allocates a types.Info with every map the analyzers consult.

@@ -19,13 +19,23 @@ import (
 // through the compiler's source importer. It needs no network, no export
 // data and no `go` invocation, which makes it usable from unit tests (the
 // checktest harness) and from twm-lint's -mode=source path.
+//
+// Every module (or SrcRoot) package it type-checks — root or dependency —
+// is retained as a LoadedPackage with full syntax and types.Info, so a
+// Session can run analyzers over the dependency closure in order and
+// propagate facts across package boundaries.
 type Loader struct {
 	Fset    *token.FileSet
 	ModRoot string // absolute path of the module root directory
 	ModPath string // module path from go.mod (e.g. "repro")
+	// SrcRoot optionally names a GOPATH-style source root: an import path
+	// not under the module resolves to SrcRoot/<path> when that directory
+	// exists. checktest points it at testdata/src so golden packages can
+	// import sibling golden packages.
+	SrcRoot string
 
-	std  types.ImporterFrom          // source importer for non-module paths
-	deps map[string]*types.Package   // memoized module dependencies
+	std    types.ImporterFrom        // source importer for non-module paths
+	loaded map[string]*LoadedPackage // every module/SrcRoot package seen
 }
 
 // NewLoader returns a loader for the module rooted at modRoot.
@@ -36,12 +46,12 @@ func NewLoader(modRoot, modPath string) *Loader {
 		ModRoot: modRoot,
 		ModPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		deps:    make(map[string]*types.Package),
+		loaded:  make(map[string]*LoadedPackage),
 	}
 }
 
-// dirFor maps a module import path to its directory, or "" if the path does
-// not belong to the module.
+// dirFor maps an import path to its source directory, or "" if the path
+// belongs to neither the module nor SrcRoot.
 func (l *Loader) dirFor(path string) string {
 	if path == l.ModPath {
 		return l.ModRoot
@@ -49,32 +59,67 @@ func (l *Loader) dirFor(path string) string {
 	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
 		return filepath.Join(l.ModRoot, filepath.FromSlash(rest))
 	}
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if bp, err := build.Default.ImportDir(dir, 0); err == nil && len(bp.GoFiles) > 0 {
+			return dir
+		}
+	}
 	return ""
 }
 
-// Import implements types.Importer: module packages come from source under
-// ModRoot, everything else is delegated to the source importer.
+// pathFor derives the import path of an absolute directory from the module
+// or SrcRoot layout; directories under neither get a synthetic path.
+func (l *Loader) pathFor(abs string) string {
+	if rel, err := filepath.Rel(l.ModRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.ModPath
+		}
+		return l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	if l.SrcRoot != "" {
+		if rel, err := filepath.Rel(l.SrcRoot, abs); err == nil && !strings.HasPrefix(rel, "..") && rel != "." {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return "testdata/" + filepath.Base(abs)
+}
+
+// Import implements types.Importer: module and SrcRoot packages come from
+// source (retained with full info), everything else is delegated to the
+// source importer.
 func (l *Loader) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
 	if dir := l.dirFor(path); dir != "" {
-		if pkg, ok := l.deps[path]; ok {
-			return pkg, nil
-		}
-		files, err := l.parseDir(dir)
+		lp, err := l.load(dir, path)
 		if err != nil {
 			return nil, err
 		}
-		conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", runtime.GOARCH)}
-		pkg, err := conf.Check(path, l.Fset, files, nil)
-		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %w", path, err)
-		}
-		l.deps[path] = pkg
-		return pkg, nil
+		return lp.Pkg, nil
 	}
 	return l.std.Import(path)
+}
+
+// Loaded returns the retained package for an import path, or nil if the
+// loader has not type-checked it (standard library, or never imported).
+func (l *Loader) Loaded(path string) *LoadedPackage {
+	return l.loaded[path]
+}
+
+// LoadedAll returns every retained package, sorted by import path.
+func (l *Loader) LoadedAll() []*LoadedPackage {
+	paths := make([]string, 0, len(l.loaded))
+	for p := range l.loaded {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*LoadedPackage, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.loaded[p])
+	}
+	return out
 }
 
 // parseDir parses the buildable non-test Go files of dir (honoring build
@@ -107,21 +152,10 @@ type LoadedPackage struct {
 	Sizes types.Sizes
 }
 
-// LoadDir type-checks the package in dir (non-test files only) with full
-// type information. importPath may be "" to derive it from the module
-// layout; directories outside the module (e.g. testdata trees) get a
-// synthetic path.
-func (l *Loader) LoadDir(dir, importPath string) (*LoadedPackage, error) {
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
-	}
-	if importPath == "" {
-		if rel, err := filepath.Rel(l.ModRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
-			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
-		} else {
-			importPath = "testdata/" + filepath.Base(abs)
-		}
+// load type-checks the package in abs once, memoized by import path.
+func (l *Loader) load(abs, importPath string) (*LoadedPackage, error) {
+	if lp, ok := l.loaded[importPath]; ok {
+		return lp, nil
 	}
 	files, err := l.parseDir(abs)
 	if err != nil {
@@ -139,10 +173,93 @@ func (l *Loader) LoadDir(dir, importPath string) (*LoadedPackage, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking %s: %v", importPath, typeErrs[0])
 	}
-	return &LoadedPackage{Path: importPath, Dir: abs, Files: files, Pkg: pkg, Info: info, Sizes: sizes}, nil
+	lp := &LoadedPackage{Path: importPath, Dir: abs, Files: files, Pkg: pkg, Info: info, Sizes: sizes}
+	l.loaded[importPath] = lp
+	return lp, nil
 }
 
-// Run applies the analyzers to a loaded package.
+// LoadDir type-checks the package in dir (non-test files only) with full
+// type information. importPath may be "" to derive it from the module or
+// SrcRoot layout.
+func (l *Loader) LoadDir(dir, importPath string) (*LoadedPackage, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if importPath == "" {
+		importPath = l.pathFor(abs)
+	}
+	return l.load(abs, importPath)
+}
+
+// Run applies the analyzers to a loaded package with a private fact store.
 func (p *LoadedPackage) Run(analyzers []*Analyzer, fset *token.FileSet) ([]Diagnostic, error) {
-	return RunAnalyzers(analyzers, fset, p.Files, p.Pkg, p.Info, p.Sizes)
+	return RunAnalyzersFacts(analyzers, fset, p.Files, p.Pkg, p.Info, p.Sizes, NewFactStore())
+}
+
+// Session runs a set of analyzers over many packages of one Loader with a
+// shared fact store, visiting each package's loader-resolved dependencies
+// first so that facts (txpurity's cross-package impurity summaries, for
+// example) are always computed before anyone asks for them. It is the
+// source-mode analog of the dependency ordering the go command provides in
+// vet mode.
+type Session struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	Facts     *FactStore
+
+	done  map[string]bool
+	diags map[string][]Diagnostic
+}
+
+// NewSession returns a session with a fresh fact store.
+func NewSession(l *Loader, analyzers []*Analyzer) *Session {
+	RegisterFactTypes(analyzers)
+	return &Session{
+		Loader:    l,
+		Analyzers: analyzers,
+		Facts:     NewFactStore(),
+		done:      make(map[string]bool),
+		diags:     make(map[string][]Diagnostic),
+	}
+}
+
+// Analyze runs the session's analyzers over lp and, first, over any of its
+// imports the loader type-checked from source. Each package is analyzed at
+// most once per session (its diagnostics are memoized, so a package first
+// visited as a dependency still reports when asked for directly); only
+// lp's own diagnostics are returned.
+func (s *Session) Analyze(lp *LoadedPackage) ([]Diagnostic, error) {
+	if err := s.ensure(lp); err != nil {
+		return nil, err
+	}
+	return s.diags[lp.Path], nil
+}
+
+// Diagnostics returns the memoized diagnostics of an already-analyzed
+// package path (nil if the package was never analyzed in this session).
+func (s *Session) Diagnostics(path string) []Diagnostic {
+	return s.diags[path]
+}
+
+// ensure analyzes lp's loader-retained dependencies, then lp, memoizing
+// diagnostics per package.
+func (s *Session) ensure(lp *LoadedPackage) error {
+	if s.done[lp.Path] {
+		return nil
+	}
+	s.done[lp.Path] = true
+	for _, imp := range lp.Pkg.Imports() {
+		if dep := s.Loader.Loaded(imp.Path()); dep != nil {
+			if err := s.ensure(dep); err != nil {
+				return err
+			}
+		}
+	}
+	diags, err := RunAnalyzersFacts(s.Analyzers, s.Loader.Fset, lp.Files, lp.Pkg, lp.Info, lp.Sizes, s.Facts)
+	if err != nil {
+		return err
+	}
+	s.diags[lp.Path] = diags
+	return nil
 }

@@ -67,3 +67,12 @@ func asyncNegatives(tm stm.TM, x *stm.TVar[int]) {
 	})
 	_ = g.Wait()
 }
+
+// The framework-level //twm:allow directive suppresses rodiscipline
+// findings like any other rule.
+func allowedWrite(tm stm.TM, x *stm.TVar[int]) {
+	_ = stm.Atomically(tm, true, func(tx stm.Tx) error {
+		x.Set(tx, 9) //twm:allow rodiscipline exercising the engine's read-only write rejection on purpose
+		return nil
+	})
+}

@@ -191,18 +191,73 @@ func IsStmFunc(fn *types.Func, name string) bool {
 // IsAtomicallyCall reports whether call starts a transaction: a call to any
 // package-level stm function named with the Atomically prefix (Atomically,
 // AtomicallyCtx, AtomicallyCM, AtomicallyGated, the async variants returning
-// a *stm.Future, and whatever the family grows next), or to any method named
-// Atomically (the hybrid engine's entry point follows that convention).
+// a *stm.Future, and whatever the family grows next), or to a method named
+// Atomically that takes a transaction body — the engine-wrapper convention
+// (hytm's entry point, the dsg runner seam). The name alone is not enough:
+// a user-defined Atomically* helper in another package, or a method that
+// merely shares the name without taking a func(stm.Tx) error, does not
+// start a transaction and must not trip the body-discipline analyzers.
 func IsAtomicallyCall(info *types.Info, call *ast.CallExpr) bool {
 	fn := FuncOf(info, call)
 	if fn == nil {
 		return false
 	}
-	if strings.HasPrefix(fn.Name(), "Atomically") && PkgPathOf(fn) == StmPath &&
-		fn.Type().(*types.Signature).Recv() == nil {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Atomically") && PkgPathOf(fn) == StmPath && sig.Recv() == nil {
 		return true
 	}
-	return fn.Name() == "Atomically" && fn.Type().(*types.Signature).Recv() != nil
+	if fn.Name() == "Atomically" && sig.Recv() != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if p, ok := sig.Params().At(i).Type().(*types.Signature); ok && IsBodySig(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsAsyncAtomicallyCall reports whether call starts an asynchronous
+// transaction returning a *stm.Future (the AtomicallyAsync family).
+func IsAsyncAtomicallyCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := FuncOf(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && PkgPathOf(fn) == StmPath &&
+		strings.HasPrefix(fn.Name(), "AtomicallyAsync")
+}
+
+// IsFuture reports whether t is *stm.Future (or stm.Future itself).
+func IsFuture(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(types.Unalias(t), StmPath, "Future")
+}
+
+// FutureMethodOf returns the name of the stm.Future method call invokes
+// ("Wait", "WaitCtx" or "Done"), or "".
+func FutureMethodOf(info *types.Info, call *ast.CallExpr) string {
+	fn := FuncOf(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !IsFuture(sig.Recv().Type()) {
+		return ""
+	}
+	switch fn.Name() {
+	case "Wait", "WaitCtx", "Done":
+		return fn.Name()
+	}
+	return ""
 }
 
 // IsTxWrite reports whether call invokes stm.Tx.Write (on the interface or
@@ -219,10 +274,41 @@ func IsTxWrite(info *types.Info, call *ast.CallExpr) bool {
 // IsTVarSet reports whether call invokes (*stm.TVar[T]).Set, the typed
 // wrapper over Tx.Write.
 func IsTVarSet(info *types.Info, call *ast.CallExpr) bool {
+	return isTVarMethod(info, call, "Set")
+}
+
+// isTVarMethod reports whether call invokes the named method with a
+// *stm.TVar[T] receiver (the stm package has other types with Get/Set
+// methods, e.g. WriteSet).
+func isTVarMethod(info *types.Info, call *ast.CallExpr, name string) bool {
 	fn := FuncOf(info, call)
-	if fn == nil || fn.Name() != "Set" || PkgPathOf(fn) != StmPath {
+	if fn == nil || fn.Name() != name || PkgPathOf(fn) != StmPath {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)
-	return ok && sig.Recv() != nil
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	return isNamed && named.Obj().Name() == "TVar"
+}
+
+// IsTxRead reports whether call invokes stm.Tx.Read.
+func IsTxRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Read" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && IsTx(tv.Type)
+}
+
+// IsTVarGet reports whether call invokes (*stm.TVar[T]).Get, the typed
+// wrapper over Tx.Read.
+func IsTVarGet(info *types.Info, call *ast.CallExpr) bool {
+	return isTVarMethod(info, call, "Get")
 }

@@ -63,3 +63,13 @@ func asyncNegatives(tm stm.TM, x *stm.TVar[int]) {
 }
 
 func helper(tx stm.Tx, x *stm.TVar[int]) { _ = x.Get(tx) }
+
+// The framework-level //twm:allow directive suppresses txescape findings
+// like any other rule.
+func allowedEscape(tm stm.TM, ch chan stm.Tx) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		//twm:allow txescape test fixture hands its Tx to a cooperating goroutine it joins before returning
+		ch <- tx
+		return nil
+	})
+}

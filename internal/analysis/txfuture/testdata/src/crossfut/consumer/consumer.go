@@ -1,0 +1,18 @@
+// Package consumer proves txfuture's blocking discipline crosses package
+// boundaries: helper.WaitFor blocks, and a body here that reaches it is
+// reported.
+package consumer
+
+import (
+	"crossfut/helper"
+
+	"repro/internal/stm"
+)
+
+func bodies(tm stm.TM, f *stm.Future) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		_ = helper.WaitFor(f) // want `calls helper.WaitFor, which blocks on Future.Wait`
+		_ = helper.Peek(f)    // non-blocking: clean
+		return nil
+	})
+}

@@ -1,0 +1,19 @@
+// Package helper is the dependency side of the cross-package txfuture
+// golden test: its blocking helper must be visible, via BlocksFact, to
+// transaction bodies in the consumer package.
+package helper
+
+import "repro/internal/stm"
+
+// WaitFor blocks on the future. // want WaitFor:"blocks: blocks on Future.Wait"
+func WaitFor(f *stm.Future) error { return f.Wait() }
+
+// Peek is non-blocking: no fact.
+func Peek(f *stm.Future) bool {
+	select {
+	case <-f.Done():
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,64 @@
+// Package future is twm-lint golden-test input for the txfuture analyzer:
+// dropped async futures, futures waited on inside transaction bodies, and
+// the //twm:allow escape hatch.
+package future
+
+import (
+	"context"
+
+	"repro/internal/stm"
+)
+
+func body(tx stm.Tx) error { return nil }
+
+func dropped(tm stm.TM) {
+	stm.AtomicallyAsync(tm, false, body)                              // want `future returned by stm.AtomicallyAsync is dropped`
+	_ = stm.AtomicallyAsyncCtx(context.Background(), tm, false, body) // want `future returned by stm.AtomicallyAsyncCtx is discarded with the blank identifier`
+	f := stm.AtomicallyAsync(tm, false, body)                         // want `future returned by stm.AtomicallyAsync is never consumed`
+	_ = f
+}
+
+func consumed(tm stm.TM) error {
+	f := stm.AtomicallyAsync(tm, false, body)
+	if err := f.Wait(); err != nil {
+		return err
+	}
+	g := stm.AtomicallyAsyncCtx(context.Background(), tm, false, body)
+	<-g.Done()
+	h := stm.AtomicallyAsync(tm, false, body)
+	return reap(h) // handed off: reap's problem now
+}
+
+func reap(f *stm.Future) error { return f.Wait() }
+
+func escapes(tm stm.TM) []*stm.Future {
+	fs := []*stm.Future{stm.AtomicallyAsync(tm, false, body)}
+	fs = append(fs, stm.AtomicallyAsync(tm, false, body))
+	return fs
+}
+
+func sink(f *stm.Future) {}
+
+func inBody(tm stm.TM, f *stm.Future) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		_ = f.Wait()                                 // want `transaction body blocks on Future.Wait`
+		_ = f.WaitCtx(context.Background())          // want `transaction body blocks on Future.WaitCtx`
+		sink(stm.AtomicallyAsync(tm, false, body))   // want `launches an asynchronous transaction \(stm.AtomicallyAsync\)`
+		waits(f)                                     // want `transaction body calls waits, which blocks on Future.Wait`
+		deepWaits(f)                                 // want `transaction body calls deepWaits, which calls waits, which blocks on Future.Wait`
+		return nil
+	})
+}
+
+func waits(f *stm.Future) { _ = f.Wait() }
+
+func deepWaits(f *stm.Future) { waits(f) }
+
+func allowed(tm stm.TM, f *stm.Future) {
+	//twm:allow txfuture fire-and-forget warm-up probe; outcome deliberately ignored
+	stm.AtomicallyAsync(tm, false, body)
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		_ = f.Wait() //twm:allow txfuture engine under test is not combiner-gated here
+		return nil
+	})
+}

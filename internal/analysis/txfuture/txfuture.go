@@ -1,0 +1,287 @@
+// Package txfuture implements the twm-lint analyzer that enforces the
+// async-transaction discipline around stm.Future.
+//
+// The AtomicallyAsync family (internal/stm/future.go) runs a transaction
+// on its own goroutine and hands back a *stm.Future that resolves exactly
+// once. Two misuse classes are statically visible:
+//
+//   - Dropped futures. A future nobody consumes silently discards the
+//     transaction's outcome: a user abort, *stm.CancelledError or
+//     *stm.OverloadError vanishes, and the program has no ordering point
+//     for the commit. The analyzer flags an AtomicallyAsync* result used
+//     as an expression statement, assigned to the blank identifier, or
+//     bound to a local whose every use is a blank assignment. A future
+//     that escapes — returned, passed to another function, stored in a
+//     structure — is someone else's to consume and stays legal.
+//
+//   - Futures inside transaction bodies. Future.Wait/WaitCtx reachable
+//     from a body (transitively through helpers, across packages via
+//     BlocksFact) can deadlock a combiner-gated commit: under the
+//     group-commit engines the waiting body may be the very member whose
+//     turn the combiner leader is waiting to run, and the awaited
+//     transaction may be queued behind it (DESIGN.md §13). Launching an
+//     AtomicallyAsync* transaction from inside a body is flagged for the
+//     same reason txpurity flags nested Atomically: bodies re-execute on
+//     retry, so every retry leaks another transaction goroutine.
+//
+// `//twm:allow txfuture <reason>` on the offending line (or the line
+// above) suppresses a finding, like every twm-lint rule.
+package txfuture
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/stmtypes"
+)
+
+// Analyzer is the txfuture analysis.
+var Analyzer = &framework.Analyzer{
+	Name:      "txfuture",
+	Doc:       "report dropped stm.Futures and Future.Wait or async launches reachable from transaction bodies",
+	Run:       run,
+	FactTypes: []framework.Fact{&BlocksFact{}},
+}
+
+// BlocksFact marks a function that (transitively) blocks on Future.Wait /
+// WaitCtx or launches an asynchronous transaction — operations that must
+// stay unreachable from transaction bodies.
+type BlocksFact struct {
+	What string
+}
+
+// AFact marks BlocksFact as a framework fact.
+func (*BlocksFact) AFact() {}
+
+func (f *BlocksFact) String() string { return "blocks: " + f.What }
+
+// violation is one future-discipline breach inside body-reachable code.
+type violation struct {
+	pos  token.Pos
+	what string
+}
+
+type checker struct {
+	pass       *framework.Pass
+	decls      map[*types.Func]*ast.FuncDecl
+	summaries  map[*types.Func][]violation
+	inProgress map[*types.Func]bool
+}
+
+func run(pass *framework.Pass) error {
+	checkDropped(pass)
+
+	c := &checker{
+		pass:       pass,
+		decls:      declaredFuncs(pass),
+		summaries:  make(map[*types.Func][]violation),
+		inProgress: make(map[*types.Func]bool),
+	}
+	for _, body := range stmtypes.FindBodies(pass.TypesInfo, pass.Files) {
+		for _, v := range c.scan(body.Lit.Body) {
+			pass.Reportf(v.pos, "transaction body %s; a body that waits on or launches other transactions can deadlock a combiner-gated commit (DESIGN.md §13)", v.what)
+		}
+	}
+	for fn := range c.decls {
+		if s := c.summary(fn); len(s) > 0 {
+			pass.ExportObjectFact(fn, &BlocksFact{What: s[0].what})
+		}
+	}
+	return nil
+}
+
+func declaredFuncs(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+func (c *checker) summary(fn *types.Func) []violation {
+	if s, ok := c.summaries[fn]; ok {
+		return s
+	}
+	if c.inProgress[fn] {
+		return nil
+	}
+	decl := c.decls[fn]
+	if decl == nil {
+		return nil
+	}
+	c.inProgress[fn] = true
+	s := c.scan(decl.Body)
+	c.inProgress[fn] = false
+	c.summaries[fn] = s
+	return s
+}
+
+// scan collects Wait/WaitCtx calls and async launches in a function body:
+// direct ones, transitive ones through same-package callees, and
+// cross-package ones through imported BlocksFacts.
+func (c *checker) scan(body ast.Node) []violation {
+	info := c.pass.TypesInfo
+	var out []violation
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case stmtypes.FutureMethodOf(info, call) == "Wait",
+			stmtypes.FutureMethodOf(info, call) == "WaitCtx":
+			out = append(out, violation{call.Pos(), "blocks on Future." + stmtypes.FutureMethodOf(info, call)})
+		case stmtypes.IsAsyncAtomicallyCall(info, call):
+			fn := stmtypes.FuncOf(info, call)
+			out = append(out, violation{call.Pos(), "launches an asynchronous transaction (stm." + fn.Name() + ")"})
+		default:
+			fn := stmtypes.FuncOf(info, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() == c.pass.Pkg {
+				if s := c.summary(fn); len(s) > 0 {
+					out = append(out, violation{call.Pos(), "calls " + fn.Name() + ", which " + s[0].what})
+				}
+			} else {
+				var f BlocksFact
+				if c.pass.ImportObjectFact(fn, &f) {
+					out = append(out, violation{call.Pos(), "calls " + fn.Pkg().Name() + "." + fn.Name() + ", which " + f.What})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkDropped flags AtomicallyAsync* results that no one can ever
+// consume.
+func checkDropped(pass *framework.Pass) {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		parents := parentMap(file)
+		var candidates []struct {
+			obj types.Object
+			pos token.Pos
+			fn  string
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !stmtypes.IsAsyncAtomicallyCall(info, call) {
+				return true
+			}
+			name := stmtypes.FuncOf(info, call).Name()
+			switch parent := parents[call].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(), "future returned by stm.%s is dropped; consume it via Wait, WaitCtx or Done, or the transaction's outcome is lost", name)
+			case *ast.AssignStmt:
+				if len(parent.Lhs) != len(parent.Rhs) {
+					return true
+				}
+				for i, rhs := range parent.Rhs {
+					if rhs != ast.Expr(call) {
+						continue
+					}
+					lhs, ok := ast.Unparen(parent.Lhs[i]).(*ast.Ident)
+					if !ok {
+						continue // stored into a field/element: escapes
+					}
+					if lhs.Name == "_" {
+						pass.Reportf(call.Pos(), "future returned by stm.%s is discarded with the blank identifier; consume it via Wait, WaitCtx or Done", name)
+						continue
+					}
+					var obj types.Object
+					if parent.Tok == token.DEFINE {
+						obj = info.Defs[lhs]
+					} else {
+						obj = info.Uses[lhs]
+					}
+					// Only locals can be proven dropped; package-level
+					// futures are consumable from anywhere.
+					if obj != nil && obj.Parent() != pass.Pkg.Scope() {
+						candidates = append(candidates, struct {
+							obj types.Object
+							pos token.Pos
+							fn  string
+						}{obj, call.Pos(), name})
+					}
+				}
+			}
+			return true
+		})
+		for _, cand := range candidates {
+			if !consumedSomewhere(info, file, parents, cand.obj) {
+				pass.Reportf(cand.pos, "future returned by stm.%s is never consumed: every use of the variable discards it; call Wait, WaitCtx or Done", cand.fn)
+			}
+		}
+	}
+}
+
+// consumedSomewhere reports whether any use of the future-holding variable
+// could consume or hand off the future. Blank reassignments (`_ = f`) do
+// not count; anything else — a Wait/WaitCtx/Done selector, an argument
+// position, a return, a store — conservatively does.
+func consumedSomewhere(info *types.Info, file *ast.File, parents map[ast.Node]ast.Node, obj types.Object) bool {
+	consumed := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if assign, ok := parents[id].(*ast.AssignStmt); ok {
+			// A use on the RHS of an all-blank assignment discards.
+			allBlank := true
+			for _, lhs := range assign.Lhs {
+				if l, ok := ast.Unparen(lhs).(*ast.Ident); !ok || l.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			onRhs := false
+			for _, rhs := range assign.Rhs {
+				if ast.Unparen(rhs) == ast.Expr(id) {
+					onRhs = true
+					break
+				}
+			}
+			if onRhs && allBlank {
+				return true
+			}
+		}
+		consumed = true
+		return false
+	})
+	return consumed
+}
+
+// parentMap records each node's immediate parent within file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

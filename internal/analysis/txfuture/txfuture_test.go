@@ -1,0 +1,18 @@
+package txfuture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework/checktest"
+	"repro/internal/analysis/txfuture"
+)
+
+func TestTxFuture(t *testing.T) {
+	checktest.Run(t, "future", txfuture.Analyzer)
+}
+
+// TestTxFutureCrossPackage proves the blocking discipline propagates
+// across a package boundary via BlocksFact.
+func TestTxFutureCrossPackage(t *testing.T) {
+	checktest.Run(t, "crossfut/consumer", txfuture.Analyzer)
+}

@@ -1,0 +1,32 @@
+// Package consumer proves txpurity's purity discipline is transitive
+// across package boundaries: effects authored in crosspure/helper are
+// reported at the transaction bodies here that (directly or through a
+// local helper) reach them.
+package consumer
+
+import (
+	"crosspure/helper"
+
+	"repro/internal/stm"
+)
+
+func bodies(tm stm.TM, x *stm.TVar[int]) {
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		helper.Log("attempt")   // want `calls helper.Log, which calls fmt.Println`
+		helper.Chain("attempt") // want `calls helper.Chain, which calls Log, which calls fmt.Println`
+		x.Set(tx, helper.Pure(1, 2))
+		helper.Allowed() // doc-directive //twm:impure in helper: no fact, no report
+		return nil
+	})
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		local(tx, x) // want `calls local, which calls helper.Log, which calls fmt.Println`
+		return nil
+	})
+}
+
+// local folds a cross-package impurity into a same-package summary: the
+// body above sees the full chain.
+func local(tx stm.Tx, x *stm.TVar[int]) {
+	helper.Log("deep")
+	x.Set(tx, 0)
+}

@@ -1,0 +1,21 @@
+// Package helper is the dependency side of the cross-package purity golden
+// test: txpurity analyzing this package must export ImpureFacts that the
+// consumer package's analysis reads back at its call sites.
+package helper
+
+import "fmt"
+
+// Log writes to stdout: directly impure.
+func Log(s string) { fmt.Println(s) } // want Log:"impure: calls fmt.Println"
+
+// Chain is impure only through Log.
+func Chain(s string) { Log(s) } // want Chain:"impure: calls Log, which calls fmt.Println"
+
+// Pure computes without effects: no fact.
+func Pure(a, b int) int { return a + b }
+
+// Allowed is deliberately effectful; the doc directive keeps the fact from
+// being exported, so cross-package callers stay clean.
+//
+//twm:impure deliberate debug output, exercised by the golden test
+func Allowed() { fmt.Println("allowed") }

@@ -23,6 +23,15 @@
 // the offending statement, or in the doc comment of a called function, it
 // declares the impurity deliberate (the bench yield wrapper's scheduling
 // yields are the canonical use) and silences the report.
+//
+// Purity is transitive across package boundaries: the analyzer exports an
+// ImpureFact for every function of the analyzed package whose body
+// (transitively) has an effect, and consults the facts of imported
+// packages at every cross-package call site. In source mode the framework
+// Session computes dependency facts in-process; under `go vet -vettool`
+// they travel as gob payloads piggybacked on the unit-checker protocol
+// (framework/facts.go), so an impure helper three packages away is
+// reported at the body that ultimately calls it.
 package txpurity
 
 import (
@@ -37,10 +46,23 @@ import (
 
 // Analyzer is the txpurity analysis.
 var Analyzer = &framework.Analyzer{
-	Name: "txpurity",
-	Doc:  "report side effects inside transaction bodies, which re-execute on retry",
-	Run:  run,
+	Name:      "txpurity",
+	Doc:       "report side effects inside transaction bodies, which re-execute on retry",
+	Run:       run,
+	FactTypes: []framework.Fact{&ImpureFact{}},
 }
+
+// ImpureFact marks a function whose body (transitively) performs an effect
+// a transaction body must not have. What reads like a violation chain:
+// "calls fmt.Printf" or "calls logIt, which calls fmt.Printf".
+type ImpureFact struct {
+	What string
+}
+
+// AFact marks ImpureFact as a framework fact.
+func (*ImpureFact) AFact() {}
+
+func (f *ImpureFact) String() string { return "impure: " + f.What }
 
 // purePkgFuncs exempts pure constructors from otherwise-forbidden
 // packages: they build values without touching the outside world, and
@@ -109,6 +131,14 @@ func run(pass *framework.Pass) error {
 	for _, body := range stmtypes.FindBodies(pass.TypesInfo, pass.Files) {
 		for _, v := range c.scan(body.Lit.Body) {
 			pass.Reportf(v.pos, "transaction body %s; bodies re-execute on retry (//twm:impure to allow)", v.what)
+		}
+	}
+	// Export an impurity fact for every declared function with an effect,
+	// whether or not a local body calls it: callers in packages that import
+	// this one resolve their cross-package call sites through these facts.
+	for fn := range c.decls {
+		if s := c.summary(fn); len(s) > 0 {
+			pass.ExportObjectFact(fn, &ImpureFact{What: s[0].what})
 		}
 	}
 	return nil
@@ -249,6 +279,16 @@ func (c *checker) checkCall(call *ast.CallExpr, add func(token.Pos, string)) {
 		// Same-package callee: fold its summary in at the call site.
 		if s := c.summary(fn); len(s) > 0 {
 			add(call.Pos(), "calls "+fn.Name()+", which "+s[0].what)
+		}
+	default:
+		// Cross-package callee: the owning package's analysis exported an
+		// ImpureFact if the function has (transitive) effects. No fact
+		// means pure — dependencies are always analyzed first, in source
+		// mode by the Session and in vet mode by the go command's unit
+		// ordering.
+		var f ImpureFact
+		if c.pass.ImportObjectFact(fn, &f) {
+			add(call.Pos(), "calls "+fn.Pkg().Name()+"."+fn.Name()+", which "+f.What)
 		}
 	}
 }

@@ -10,3 +10,11 @@ import (
 func TestTxPurity(t *testing.T) {
 	checktest.Run(t, "purity", txpurity.Analyzer)
 }
+
+// TestTxPurityCrossPackage proves purity propagates across a package
+// boundary: the impure helpers live in crosspure/helper, the transaction
+// bodies that reach them in crosspure/consumer, and the findings (plus the
+// helper package's exported ImpureFacts) are asserted in both.
+func TestTxPurityCrossPackage(t *testing.T) {
+	checktest.Run(t, "crosspure/consumer", txpurity.Analyzer)
+}

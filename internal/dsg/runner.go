@@ -125,7 +125,7 @@ func CheckRandomAtomic(t TB, a Atomic, opts RunOptions) {
 						for k := 0; k < nWrites; k++ {
 							v := r.intn(opts.Vars)
 							val := int64(id)*100 + int64(v)
-							tx.Write(vars[v], val)
+							tx.Write(vars[v], val) //twm:allow abortshape history generator explores upgrade windows as part of the schedule space
 							rec.Writes[v] = val
 						}
 					}

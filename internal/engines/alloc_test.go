@@ -90,8 +90,7 @@ func TestAllocsSmallUpdate(t *testing.T) {
 				n++
 				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
 					for _, v := range vars {
-						x := tx.Read(v).(int)
-						tx.Write(v, (x+n)%251)
+						tx.Write(v, (tx.Read(v).(int)+n)%251)
 					}
 					return nil
 				})
@@ -186,6 +185,7 @@ func TestAllocsAVSTMRegistry(t *testing.T) {
 		vars[i] = tm.NewVar(i)
 	}
 	hotReads := func() {
+		//twm:allow abortshape measures the update path's visible-read accounting; readOnly=false is the point
 		_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
 			for range 3 { // re-reads exercise the home-shard dedup walk
 				for _, v := range vars {
@@ -256,6 +256,7 @@ func TestAllocsEmptyUpdate(t *testing.T) {
 			tm := engines.MustNew(name)
 			v := tm.NewVar(7)
 			emptyTx := func() {
+				//twm:allow abortshape exercises the empty-write-set commit of an update transaction by design
 				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
 					_ = tx.Read(v)
 					return nil

@@ -78,7 +78,7 @@ func TestStatsReconcileWithContentionManager(t *testing.T) {
 						err := stm.AtomicallyCM(nil, tm, false, ledger, func(tx stm.Tx) error {
 							a := tx.Read(vars[j]).(int)
 							b := tx.Read(vars[(j+1)%len(vars)]).(int)
-							tx.Write(vars[j], a+1)
+							tx.Write(vars[j], a+1) //twm:allow abortshape overlapping two-var windows drive the contention manager under test
 							tx.Write(vars[(j+1)%len(vars)], b+1)
 							return nil
 						})

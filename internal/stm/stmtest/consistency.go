@@ -92,7 +92,7 @@ func pipeline(t *testing.T, tm stm.TM) {
 					if slot.Get(tx) != 0 {
 						return nil // slot full; try again later
 					}
-					slot.Set(tx, n+1)
+					slot.Set(tx, n+1) //twm:allow abortshape slot-claim is check-then-act; the harness manufactures pivot windows deliberately
 					produced.Set(tx, n+1)
 					return nil
 				}); err != nil {
@@ -122,7 +122,7 @@ func pipeline(t *testing.T, tm stm.TM) {
 					if err := stm.Atomically(tm, false, func(tx stm.Tx) error {
 						got = cell.Get(tx)
 						if got != 0 {
-							cell.Set(tx, 0)
+							cell.Set(tx, 0) //twm:allow abortshape drain-if-full is check-then-act; contention is the test's subject
 						}
 						return nil
 					}); err != nil {
