@@ -1,6 +1,7 @@
 package engines_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/engines"
@@ -265,6 +266,46 @@ func TestAllocsEmptyUpdate(t *testing.T) {
 			emptyTx()
 			if got := testing.AllocsPerRun(200, emptyTx); got > 0 {
 				t.Errorf("empty-write-set update tx: %.1f allocs/op, budget 0", got)
+			}
+		})
+	}
+}
+
+// TestAllocsPanicPath verifies the panic exit of the retry loop recycles the
+// pooled descriptor: a body panic (recovered by the caller) must leave the
+// engine's pool balanced, so repeated panicking calls reuse one descriptor
+// instead of allocating a fresh one per call. This is the regression test for
+// the lifecycle bug where stm.run only recycled on normal return from
+// runOnce, so every non-retry panic permanently drained one descriptor from
+// the pool — invisible in benchmarks (bodies there never panic), a steady
+// leak in a server whose request handlers can.
+func TestAllocsPanicPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+	boom := errors.New("boom")
+	for _, name := range engines.Names() {
+		t.Run(name, func(t *testing.T) {
+			tm := engines.MustNew(name)
+			v := tm.NewVar(0)
+			panicTx := func() {
+				defer func() {
+					if r := recover(); r != boom {
+						t.Fatalf("recovered %v, want the body's panic value", r)
+					}
+				}()
+				//twm:allow abortshape the leak being regression-tested lives in the update-descriptor pool; readOnly=true would test the wrong pool
+				_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+					_ = tx.Read(v)
+					panic(boom)
+				})
+			}
+			panicTx() // warm the descriptor pool
+			// Budget 0: the panic value pre-exists, the descriptor and its
+			// read/write sets come from the pool, and the unwind machinery
+			// itself is allocation-free.
+			if got := testing.AllocsPerRun(200, panicTx); got > 0 {
+				t.Errorf("panicking tx: %.1f allocs/op, budget 0 (descriptor not recycled?)", got)
 			}
 		})
 	}

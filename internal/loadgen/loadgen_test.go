@@ -1,0 +1,102 @@
+package loadgen_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/stm/stmtest"
+)
+
+// TestInProcessSmoke is the CI gate for the whole serving pipeline: boot a
+// real server per engine on loopback, offer a second of open-loop mixed
+// traffic, and require nonzero commits, no unexplained failures, and a fully
+// drained goroutine set — the same conditions the committed BENCH_server.json
+// artifact is produced under, at a fraction of the duration.
+func TestInProcessSmoke(t *testing.T) {
+	stmtest.CheckGoroutines(t)
+	engines := []string{"twm", "tl2"}
+	if testing.Short() {
+		engines = engines[:1]
+	}
+	cfg := loadgen.Config{
+		Rate:      200,
+		Duration:  time.Second,
+		Accounts:  64,
+		ZipfS:     1.1,
+		UpdatePct: 0.5,
+		Seed:      42,
+	}
+	art, err := loadgen.RunInProcess(context.Background(), engines, cfg, loadgen.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Engines) != len(engines) {
+		t.Fatalf("got %d results, want %d", len(art.Engines), len(engines))
+	}
+	for _, res := range art.Engines {
+		t.Logf("%s: sent=%d ok=%d shed=%d cancel=%d err=%d p50=%.2fms p99=%.2fms",
+			res.Engine, res.All.Sent, res.All.OK, res.All.Shed, res.All.Cancelled,
+			res.All.Errors, res.All.P50ms, res.All.P99ms)
+		if res.All.OK == 0 {
+			t.Errorf("%s: no request committed", res.Engine)
+		}
+		if res.All.Errors > 0 {
+			t.Errorf("%s: %d transport/5xx errors under nominal load", res.Engine, res.All.Errors)
+		}
+		if res.EngineCommits == 0 {
+			t.Errorf("%s: engine counted no commits", res.Engine)
+		}
+		if res.LeakedGoroutines != 0 {
+			t.Errorf("%s: %d goroutines leaked past drain", res.Engine, res.LeakedGoroutines)
+		}
+		if res.All.OK > 0 && res.All.P50ms <= 0 {
+			t.Errorf("%s: p50 not computed", res.Engine)
+		}
+	}
+
+	// The artifact must round-trip as JSON — it gets committed and diffed.
+	var buf bytes.Buffer
+	if err := art.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Experiment != "server_latency_ab" || len(back.Engines) != len(engines) {
+		t.Errorf("round-tripped artifact mangled: %+v", back)
+	}
+}
+
+// TestRunSeedReplay pins the open-loop generator's determinism: the same seed
+// must produce the same request sequence (counted per class), or
+// TWM_CHAOS_SEED-style replay debugging is fiction.
+func TestRunSeedReplay(t *testing.T) {
+	stmtest.CheckGoroutines(t)
+	cfg := loadgen.Config{
+		Rate:      400,
+		Duration:  500 * time.Millisecond,
+		Accounts:  32,
+		UpdatePct: 0.3,
+		Seed:      7,
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if a.Update.Sent != b.Update.Sent || a.ReadOnly.Sent != b.ReadOnly.Sent {
+		t.Errorf("same seed, different schedule: %d/%d updates, %d/%d reads",
+			a.Update.Sent, b.Update.Sent, a.ReadOnly.Sent, b.ReadOnly.Sent)
+	}
+}
+
+func mustRun(t *testing.T, cfg loadgen.Config) loadgen.Result {
+	t.Helper()
+	art, err := loadgen.RunInProcess(context.Background(), []string{"twm"}, cfg, loadgen.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art.Engines[0]
+}

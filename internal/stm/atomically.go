@@ -176,7 +176,7 @@ func run(ctx context.Context, tm TM, readOnly bool, gate *AdmissionGate, cm Cont
 			cm.BeforeAttempt(attempt)
 		}
 		tx := tm.Begin(readOnly)
-		err, reason, retry := runOnce(tm, tx, fn)
+		err, reason, retry := runOnce(tm, rec, tx, fn)
 		if rec != nil {
 			rec.Recycle(tx)
 		}
@@ -199,13 +199,21 @@ func run(ctx context.Context, tm TM, readOnly bool, gate *AdmissionGate, cm Cont
 // aborted: read-path aborts carry the reason in the retry signal; commit
 // failures are read back from the descriptor via AbortReasoner (defaulting to
 // ReasonWriteConflict for engines that do not implement it).
-func runOnce(tm TM, tx Tx, fn func(Tx) error) (err error, reason AbortReason, retry bool) {
+func runOnce(tm TM, rec TxRecycler, tx Tx, fn func(Tx) error) (err error, reason AbortReason, retry bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			tm.Abort(tx)
 			if sig, ok := r.(retrySignal); ok {
 				reason, retry = sig.reason, true
 				return
+			}
+			// A non-retry panic unwinds past the retry loop, so run's own
+			// recycle never executes: the descriptor — already aborted, never
+			// observable again — must return to the pool here or it is lost
+			// for the life of the process (one body panic per pooled
+			// descriptor would drain the pool entirely).
+			if rec != nil {
+				rec.Recycle(tx)
 			}
 			panic(r)
 		}

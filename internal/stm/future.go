@@ -1,6 +1,9 @@
 package stm
 
-import "context"
+import (
+	"context"
+	"runtime/debug"
+)
 
 // Future is the pending result of an asynchronous transaction started by an
 // AtomicallyAsync variant. The transaction runs on its own goroutine through
@@ -26,7 +29,8 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Wait blocks until the transaction finishes and returns its result: nil on
 // commit, the body's error verbatim on a user abort, *CancelledError or
-// *OverloadError when the retry loop gave up.
+// *OverloadError when the retry loop gave up, or *PanicError when the body
+// panicked (the panic is contained, not rethrown — see goRun).
 func (f *Future) Wait() error {
 	<-f.done
 	return f.err
@@ -36,8 +40,12 @@ func (f *Future) Wait() error {
 // done first. Abandoning the wait does not abandon the transaction — it keeps
 // running to its own conclusion (cancel the transaction's own context, passed
 // to AtomicallyAsyncCtx or AtomicallyAsyncGated, to stop the retry loop
-// itself).
+// itself). A nil ctx never cancels, same as Backoff.WaitCtx and the
+// Atomically variants.
 func (f *Future) WaitCtx(ctx context.Context) error {
+	if ctx == nil {
+		return f.Wait()
+	}
 	select {
 	case <-f.done:
 		return f.err
@@ -82,11 +90,23 @@ func AtomicallyAsyncGated(ctx context.Context, tm TM, readOnly bool, g *Admissio
 // loop's own exit conditions (commit, user error, cancellation, overload), so
 // async callers leak nothing as long as a caller with a ctx eventually
 // cancels it — the same liveness contract as the synchronous variants.
+//
+// A body panic is contained here rather than rethrown: rethrowing on a
+// goroutine with no caller would crash the process with the future forever
+// unresolved. The retry loop has already run the engine's abort cleanup,
+// recycled the descriptor and released any gate slot (its defers run during
+// the unwind), so the panic reaches this recover with no engine state in
+// flight; the future resolves with a *PanicError carrying the stack.
 func goRun(ctx context.Context, tm TM, readOnly bool, gate *AdmissionGate, cm ContentionManager, fn func(Tx) error) *Future {
 	f := &Future{done: make(chan struct{})}
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			close(f.done)
+		}()
 		f.err = run(ctx, tm, readOnly, gate, cm, fn)
-		close(f.done)
 	}()
 	return f
 }

@@ -49,6 +49,11 @@ type AdmissionGate struct {
 	waiting   atomic.Int64
 }
 
+// testHookShedRecheck, when non-nil, runs inside Acquire's pure-shed window —
+// after the saturated fast path, before the final shed decision. Tests use it
+// to free a slot at exactly the racing instant; always nil outside tests.
+var testHookShedRecheck func()
+
 // NewAdmissionGate returns a gate admitting at most limit concurrent update
 // transactions. A queued call waits up to maxWait for a slot before giving up
 // with *OverloadError; maxWait <= 0 selects pure load shedding (a saturated
@@ -84,6 +89,22 @@ func (g *AdmissionGate) Acquire(ctx context.Context) error {
 		done = ctx.Done()
 	}
 	if g.maxWait <= 0 {
+		if h := testHookShedRecheck; h != nil {
+			h()
+		}
+		// Re-offer once before refusing: a slot freed between the saturated
+		// fast path above and this decision would otherwise surface as a
+		// spurious *OverloadError — the gate shedding load while a slot sits
+		// free. One non-blocking retry closes the window the pure-shed path
+		// is responsible for (the remaining race, a slot freed after this
+		// select, is indistinguishable from the request simply arriving
+		// earlier).
+		select {
+		case g.slots <- struct{}{}:
+			g.admitted.Add(1)
+			return nil
+		default:
+		}
 		g.overloads.Add(1)
 		return &OverloadError{Limit: cap(g.slots)}
 	}

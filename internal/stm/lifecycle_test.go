@@ -1,0 +1,211 @@
+package stm
+
+// Regression tests for the three transaction-lifecycle bugs fixed for the
+// traffic-serving front end (cmd/twm-server):
+//
+//  1. a non-retry body panic leaked the pooled descriptor (run only recycled
+//     on normal return from runOnce),
+//  2. a body panic inside an async transaction crashed the process with the
+//     Future never resolved,
+//  3. AdmissionGate.Acquire's pure-shed path missed a slot freed between the
+//     fast path and the refusal, shedding load with a free slot in hand.
+//
+// Each was harmless in a closed-loop benchmark (bodies there never panic and
+// pure-shed gates are rare) and fatal in a server.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recycleTM is fakeTM plus descriptor pooling: it tracks how many descriptors
+// were ever allocated and how many Recycle calls returned one to the free
+// list, so tests can assert the pool stays balanced across every exit path of
+// the retry loop.
+type recycleTM struct {
+	fakeTM
+	allocated int
+	recycled  int
+	free      []*fakeTx
+}
+
+func (p *recycleTM) Begin(readOnly bool) Tx {
+	p.stats.RecordStart()
+	if n := len(p.free); n > 0 {
+		tx := p.free[n-1]
+		p.free = p.free[:n-1]
+		tx.readOnly = readOnly
+		return tx
+	}
+	p.allocated++
+	return &fakeTx{tm: &p.fakeTM, readOnly: readOnly, writes: make(map[*fakeVar]Value)}
+}
+
+func (p *recycleTM) Recycle(tx Tx) {
+	t := tx.(*fakeTx)
+	clear(t.writes)
+	p.recycled++
+	p.free = append(p.free, t)
+}
+
+// TestPanicPathRecyclesDescriptor pins bug 1: a body panic that is not a
+// retry signal must still return the descriptor to the pool (the attempt is
+// already aborted and the Tx can never be observed again). Before the fix
+// every such panic permanently dropped one descriptor.
+func TestPanicPathRecyclesDescriptor(t *testing.T) {
+	tm := &recycleTM{}
+	boom := errors.New("boom")
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != boom {
+					t.Fatalf("recovered %v, want the body's panic value", r)
+				}
+			}()
+			_ = Atomically(tm, false, func(Tx) error { panic(boom) })
+		}()
+	}
+	if tm.recycled != rounds {
+		t.Fatalf("recycled %d descriptors across %d panicking calls", tm.recycled, rounds)
+	}
+	if tm.allocated != 1 {
+		t.Fatalf("allocated %d descriptors, want 1 (pool must be reused across panics)", tm.allocated)
+	}
+	if tm.aborts != rounds {
+		t.Fatalf("aborts = %d, want %d (panic path must abort before recycling)", tm.aborts, rounds)
+	}
+}
+
+// TestPanicPathRecycleOrdering asserts the panic path recycles after the
+// abort, mirroring the documented TxRecycler contract ("after the attempt has
+// fully finished").
+func TestPanicPathRecycleOrdering(t *testing.T) {
+	tm := &recycleTM{}
+	defer func() { recover() }()
+	_ = Atomically(tm, false, func(Tx) error {
+		if tm.recycled != 0 {
+			t.Error("recycled before the attempt finished")
+		}
+		panic("unwind")
+	})
+}
+
+// TestAsyncBodyPanicResolvesFuture pins bug 2: a panic inside an async body
+// must not crash the process — the future resolves with a *PanicError whose
+// Stack includes the panic site, and every observer (Wait, WaitCtx, Done)
+// sees the resolution.
+func TestAsyncBodyPanicResolvesFuture(t *testing.T) {
+	tm := &recycleTM{}
+	release := make(chan struct{})
+
+	f := AtomicallyAsync(tm, false, func(Tx) error {
+		<-release //twm:impure test gate so observers can register before the panic
+		panic("async kaboom")
+	})
+
+	// Register concurrent observers before the body is allowed to panic.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	wg.Add(3)
+	go func() { defer wg.Done(); errs[0] = f.Wait() }()
+	go func() { defer wg.Done(); errs[1] = f.WaitCtx(context.Background()) }()
+	go func() { defer wg.Done(); <-f.Done(); errs[2] = f.Wait() }()
+
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("observer %d: err = %v, want *PanicError", i, err)
+		}
+		if pe.Value != "async kaboom" {
+			t.Fatalf("observer %d: panic value = %v", i, pe.Value)
+		}
+		if !bytes.Contains(pe.Stack, []byte("panic")) {
+			t.Fatalf("observer %d: stack does not show the panic:\n%s", i, pe.Stack)
+		}
+	}
+	if tm.aborts != 1 {
+		t.Fatalf("aborts = %d, want 1 (engine cleanup must run before containment)", tm.aborts)
+	}
+	if tm.recycled != 1 {
+		t.Fatalf("recycled = %d, want 1 (bug 1's fix must hold on the async path too)", tm.recycled)
+	}
+}
+
+// TestAsyncPanicReleasesGateSlot: the retry loop's deferred gate release runs
+// during the panic unwind, so a panicking gated transaction must not leak its
+// admission slot.
+func TestAsyncPanicReleasesGateSlot(t *testing.T) {
+	tm := &recycleTM{}
+	g := NewAdmissionGate(1, 0)
+	f := AtomicallyAsyncGated(context.Background(), tm, false, g, nil, func(Tx) error {
+		panic("gated kaboom")
+	})
+	var pe *PanicError
+	if err := f.Wait(); !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for g.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate slot still held after panic containment: in-flight = %d", g.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.Acquire(nil); err != nil {
+		t.Fatalf("gate unusable after panic: %v", err)
+	}
+	g.Release()
+}
+
+// TestFutureWaitCtxNil: WaitCtx(nil) must behave like Wait (never cancel),
+// matching Backoff.WaitCtx's nil tolerance, instead of panicking on a nil
+// context's Done.
+func TestFutureWaitCtxNil(t *testing.T) {
+	tm := &recycleTM{}
+	f := AtomicallyAsync(tm, false, func(Tx) error { return nil })
+	if err := f.WaitCtx(nil); err != nil {
+		t.Fatalf("WaitCtx(nil) = %v", err)
+	}
+}
+
+// TestAcquirePureShedReoffer pins bug 3: with maxWait <= 0, a slot freed
+// between Acquire's saturated fast path and its refusal must be taken, not
+// reported as overload. The test hook releases the only slot at exactly the
+// racing instant.
+func TestAcquirePureShedReoffer(t *testing.T) {
+	g := NewAdmissionGate(1, 0)
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	testHookShedRecheck = func() { g.Release() }
+	defer func() { testHookShedRecheck = nil }()
+	if err := g.Acquire(nil); err != nil {
+		t.Fatalf("Acquire = %v, want admission (a slot was free at decision time)", err)
+	}
+	testHookShedRecheck = nil
+	if g.InFlight() != 1 {
+		t.Fatalf("in-flight = %d, want 1", g.InFlight())
+	}
+	if got := g.Overloads(); got != 0 {
+		t.Fatalf("overloads = %d, want 0 (the shed would have been spurious)", got)
+	}
+	g.Release()
+
+	// A genuinely saturated pure-shed gate still refuses immediately.
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	var oe *OverloadError
+	if err := g.Acquire(nil); !errors.As(err, &oe) {
+		t.Fatalf("saturated Acquire = %v, want *OverloadError", err)
+	}
+	g.Release()
+}

@@ -1,0 +1,29 @@
+package stm
+
+import "fmt"
+
+// PanicError is how an asynchronous transaction reports a panicking body. The
+// synchronous Atomically variants rethrow body panics to their caller
+// unchanged (the caller's stack is the right place for them to land), but an
+// AtomicallyAsync body runs on a goroutine nobody defers around: before this
+// type existed, a body panic there killed the whole process and left the
+// Future unresolved, so every observer blocked forever. goRun now contains
+// the panic into a resolved future carrying a *PanicError instead; the engine
+// has already aborted the attempt and recycled its descriptor, so no engine
+// state leaks with the panic.
+//
+// Servers map it to an internal error response: the request that panicked
+// fails, the process serves on. Stack preserves the panicking frames for the
+// log line.
+type PanicError struct {
+	// Value is the recovered panic value, verbatim.
+	Value any
+	// Stack is the goroutine stack captured at recovery, including the
+	// frames that panicked.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stm: transaction body panicked: %v", e.Value)
+}
