@@ -22,7 +22,10 @@
 //	groupcommit  commit pipelining: write-heavy Zipf counters A/B of each
 //	           serial engine vs its flat-combining group-commit variant,
 //	           emitting BENCH_groupcommit.json (-json)
-//	all        everything above
+//	durability fsync-policy latency ladder of the write-ahead log (off /
+//	           interval / per-batch / per-commit) on the WAL-capable
+//	           engines, emitting BENCH_durability.json (-json)
+//	all        everything above (except the sweeps with their own axes)
 //
 // Flags select engines, thread counts, per-cell duration for the
 // microbenchmarks, and input scale. The defaults are container-sized; pass
@@ -177,6 +180,30 @@ func run(args []string) error {
 			return err
 		}
 		return emit("groupcommit", res, nil)
+	case "durability":
+		dc := bench.DefaultDurability()
+		if *scale == "small" {
+			dc.Accounts = 128
+		}
+		dc.Seed = *seed
+		// The ladder has its own axes: the WAL-capable engine pair and one
+		// goroutine count (the policy, not the thread sweep, is the x-axis).
+		durEngines := engineNames
+		if *engineList == strings.Join(engines.PaperSet(), ",") {
+			durEngines = bench.DurabilityEngines()
+		}
+		durThreads := bench.DurabilityThreads()
+		if *threadList != "1,4,8,16,32,64" && len(threads) > 0 {
+			durThreads = threads[len(threads)-1]
+		}
+		art, err := bench.DurabilityFigure(out, durEngines, bench.DurabilityPolicies(), durThreads, *duration, dc)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(artifactPath(*jsonPath, "durability"), art.WriteJSON, len(art.Cells)); err != nil {
+			return err
+		}
+		return emit("durability", nil, nil)
 	case "all":
 		if res, err := bench.Fig3SkipList(out, cfg, sl); emit("fig3-skiplist", res, err) != nil {
 			return err

@@ -18,6 +18,15 @@
 //	-drain    graceful-shutdown drain window     (TWM_SERVER_DRAIN, 5s)
 //	-log      log level: debug|info|warn|error   (TWM_SERVER_LOG, info)
 //	-debug    enable the /debugz fault drills    (TWM_SERVER_DEBUG, false)
+//	-wal      WAL directory; empty = volatile    (TWM_SERVER_WAL, "")
+//	-fsync    per-commit|per-batch|interval      (TWM_SERVER_FSYNC, per-commit)
+//	-snapshot-every periodic checkpoint interval (TWM_SERVER_SNAPSHOT_EVERY, 1m)
+//
+// With -wal the server is durable: boot replays the directory's snapshot and
+// log before the listener opens, commits append their write sets before they
+// are acknowledged (zero committed-transaction loss at -fsync per-commit),
+// and shutdown writes a final checkpoint so the next boot replays almost
+// nothing. See DESIGN.md §16.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener closes, in-flight
 // requests run to completion inside the drain window (each bounded by the
@@ -61,6 +70,9 @@ func run(args []string) error {
 	drain := fs.Duration("drain", envDur("DRAIN", 5*time.Second), "graceful-shutdown drain window")
 	logLevel := fs.String("log", envStr("LOG", "info"), "log level: debug|info|warn|error")
 	debug := fs.Bool("debug", envBool("DEBUG", false), "enable the /debugz fault-drill endpoints")
+	walDir := fs.String("wal", envStr("WAL", ""), "write-ahead-log directory (empty = volatile server)")
+	fsync := fs.String("fsync", envStr("FSYNC", ""), "fsync policy: per-commit|per-batch|interval (default per-commit)")
+	snapEvery := fs.Duration("snapshot-every", envDur("SNAPSHOT_EVERY", time.Minute), "periodic checkpoint interval (<0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +92,9 @@ func run(args []string) error {
 		RequestTimeout: *timeout,
 		Logger:         log,
 		Debug:          *debug,
+		WALDir:         *walDir,
+		FsyncPolicy:    *fsync,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		return err
@@ -94,7 +109,7 @@ func run(args []string) error {
 	defer stop()
 
 	log.Info("twm-server listening", "addr", ln.Addr().String(), "engine", *engine,
-		"accounts", *accounts, "gate", srv.Gate().Limit(), "timeout", *timeout)
+		"accounts", *accounts, "gate", srv.Gate().Limit(), "timeout", *timeout, "wal", *walDir)
 	err = srv.Serve(ctx, ln, *drain)
 	m := srv.Metrics()
 	log.Info("twm-server stopped",

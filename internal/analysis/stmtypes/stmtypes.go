@@ -260,6 +260,75 @@ func FutureMethodOf(info *types.Info, call *ast.CallExpr) string {
 	return ""
 }
 
+// commitLoggerIface locates the stm.CommitLogger interface type as seen by
+// pkg: the stm package's own scope when pkg is stm (or its test variant),
+// otherwise the scope of pkg's direct stm import. Nil when pkg cannot see
+// the interface — then nothing in pkg can implement it relevantly either.
+func commitLoggerIface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	stm := pkg
+	if normPath(pkg.Path()) != StmPath {
+		stm = nil
+		for _, imp := range pkg.Imports() {
+			if normPath(imp.Path()) == StmPath {
+				stm = imp
+				break
+			}
+		}
+		if stm == nil {
+			return nil
+		}
+	}
+	obj := stm.Scope().Lookup("CommitLogger")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// IsCommitLoggerMethod reports whether fn is a method through which its
+// receiver type satisfies stm.CommitLogger: the receiver (or a pointer to
+// it) implements the interface and fn's name is in the interface's method
+// set. Such methods are the engines' commit-path durability seam — invoked
+// once per commit with write locks held, never from inside a re-executable
+// transaction body — which is why txpurity exempts them from the body
+// purity discipline. A mere name match (an Append on a type that does not
+// implement the interface) does not qualify.
+func IsCommitLoggerMethod(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	iface := commitLoggerIface(fn.Pkg())
+	if iface == nil {
+		return false
+	}
+	inSet := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == fn.Name() {
+			inSet = true
+			break
+		}
+	}
+	if !inSet {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
 // IsTxWrite reports whether call invokes stm.Tx.Write (on the interface or
 // any value whose static type is stm.Tx).
 func IsTxWrite(info *types.Info, call *ast.CallExpr) bool {

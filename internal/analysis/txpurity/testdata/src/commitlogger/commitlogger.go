@@ -1,0 +1,52 @@
+// Package commitlogger is twm-lint golden-test input for the structural
+// CommitLogger exemption: methods through which a type implements
+// stm.CommitLogger are commit-path code — their I/O neither reports at call
+// sites nor exports impurity facts — while name-alike methods on types that
+// do NOT implement the interface stay under the ordinary body discipline.
+package commitlogger
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// CountingLog implements stm.CommitLogger with deliberately effectful
+// methods: the whole point of a logger is I/O. Neither method may carry an
+// ImpureFact, and bodies calling them stay clean.
+type CountingLog struct{ n uint64 }
+
+var _ stm.CommitLogger = (*CountingLog)(nil)
+
+func (l *CountingLog) Append(recs []stm.CommitRecord) (stm.LSN, error) {
+	fmt.Println("append", len(recs)) // commit-path I/O: exempt
+	l.n += uint64(len(recs))
+	return stm.LSN(l.n), nil
+}
+
+func (l *CountingLog) Durable(lsn stm.LSN) error {
+	fmt.Println("durable", lsn) // commit-path I/O: exempt
+	return nil
+}
+
+// Helper is impure in the ordinary way and anchors the fact expectations of
+// this file: it proves the harness checks facts here, so the absence of
+// facts on the logger methods above is a real assertion, not a blind spot.
+func Helper() { fmt.Println("helper") } // want Helper:"impure: calls fmt.Println"
+
+// Lookalike shares the method name Append but does not implement
+// stm.CommitLogger (wrong signature): no structural exemption.
+type Lookalike struct{}
+
+func (Lookalike) Append(s string) { fmt.Println(s) } // want Append:"impure: calls fmt.Println"
+
+// bodies exports its own fact — starting a transaction is itself an effect
+// a body must not have — which this file's fact checking must acknowledge.
+func bodies(tm stm.TM, l *CountingLog, lk Lookalike) { // want bodies:"impure: starts a nested transaction"
+	_ = stm.Atomically(tm, false, func(tx stm.Tx) error {
+		_, _ = l.Append(nil) // exempt: CommitLogger method, commit-path code
+		_ = l.Durable(0)     // exempt likewise
+		lk.Append("x")       // want `calls Append, which calls fmt.Println`
+		return nil
+	})
+}

@@ -24,6 +24,14 @@
 // declares the impurity deliberate (the bench yield wrapper's scheduling
 // yields are the canonical use) and silences the report.
 //
+// One structural exemption needs no directive: methods through which a type
+// implements stm.CommitLogger (Append, Durable). They are the durability
+// seam of the engines' commit paths — invoked once per commit with write
+// locks held, never from inside a re-executable transaction body — and
+// performing I/O is their contract, so they neither report locally nor
+// export impurity facts. A lookalike method on a type that does not
+// implement the interface gets no such pass.
+//
 // Purity is transitive across package boundaries: the analyzer exports an
 // ImpureFact for every function of the analyzed package whose body
 // (transitively) has an effect, and consults the facts of imported
@@ -176,6 +184,16 @@ func (c *checker) summary(fn *types.Func) []violation {
 		return nil
 	}
 	if framework.HasDirective(decl.Doc, "twm:impure") {
+		c.summaries[fn] = nil
+		return nil
+	}
+	// stm.CommitLogger implementations are commit-path code, not body code:
+	// the engines invoke Append with write locks held after validation and
+	// Durable after install, exactly once per commit, never from inside a
+	// re-executable body — and their entire job is I/O. A nil summary both
+	// silences local call sites and keeps the ImpureFact from being
+	// exported, so durable loggers don't poison every cross-package caller.
+	if stmtypes.IsCommitLoggerMethod(fn) {
 		c.summaries[fn] = nil
 		return nil
 	}

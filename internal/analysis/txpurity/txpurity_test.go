@@ -18,3 +18,11 @@ func TestTxPurity(t *testing.T) {
 func TestTxPurityCrossPackage(t *testing.T) {
 	checktest.Run(t, "crosspure/consumer", txpurity.Analyzer)
 }
+
+// TestTxPurityCommitLogger proves the structural exemption: methods through
+// which a type implements stm.CommitLogger are commit-path code (no
+// diagnostics, no exported facts), while a name-alike Append on a
+// non-implementing type is still flagged and still exports its fact.
+func TestTxPurityCommitLogger(t *testing.T) {
+	checktest.Run(t, "commitlogger", txpurity.Analyzer)
+}

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/wal"
+	"repro/internal/xrand"
+)
+
+// This file is the durability arm of the chaos middleware: deterministic
+// crash-point injection for the write-ahead log (internal/wal). A CrashPlan
+// picks — from a seed, so a failing soak replays exactly — one of the WAL's
+// four hook points, an operation count at which the "crash" fires, and an
+// optional post-crash mutilation of the log directory modelling what an
+// unclean storage stack leaves behind (a torn tail, a corrupted checksum, a
+// duplicated segment). The process stays alive — the injected hook error
+// latches the Writer, which is the WAL's own model of "the log died under
+// me" — and the test then runs Recover over the mutilated directory and
+// audits the rebuilt state.
+
+// ErrCrash is the sentinel error a CrashPlan's hooks inject at the chosen
+// crash point. The wal.Writer latches it like any hook failure.
+var ErrCrash = errors.New("chaos: injected crash")
+
+// CrashPoint selects which wal.Hooks fault point the crash fires at.
+type CrashPoint int
+
+const (
+	// CrashBeforeAppend fires before a record's bytes reach the OS: the
+	// record is lost entirely, as if the process died just before write().
+	CrashBeforeAppend CrashPoint = iota
+	// CrashAfterAppend fires after write() but before any fsync: the record
+	// is in the page cache only and a torn or missing tail is plausible.
+	CrashAfterAppend
+	// CrashBeforeSync fires with appended bytes not yet durable — the
+	// widest-loss point: everything since the previous fsync may vanish.
+	CrashBeforeSync
+	// CrashAfterSync fires just after durability was achieved: nothing may
+	// be lost, the strictest recovery assertion.
+	CrashAfterSync
+	numCrashPoints
+)
+
+// String returns a short stable label.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashBeforeAppend:
+		return "before-append"
+	case CrashAfterAppend:
+		return "after-append"
+	case CrashBeforeSync:
+		return "before-sync"
+	case CrashAfterSync:
+		return "after-sync"
+	}
+	return "unknown"
+}
+
+// CorruptMode selects the post-crash mutilation Mutilate applies.
+type CorruptMode int
+
+const (
+	// CorruptNone leaves the directory exactly as the crash left it.
+	CorruptNone CorruptMode = iota
+	// CorruptTearTail truncates the newest segment mid-record — the classic
+	// torn write. Recovery must drop the tail, not fail.
+	CorruptTearTail
+	// CorruptFlipCRC flips one bit in the newest segment's final checksum;
+	// recovery must treat the record as torn, same as a short write.
+	CorruptFlipCRC
+	// CorruptDuplicateSegment copies an existing segment to a fresh higher
+	// sequence number — re-delivered records that the replay fold must absorb
+	// idempotently.
+	CorruptDuplicateSegment
+	numCorruptModes
+)
+
+// String returns a short stable label.
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptNone:
+		return "none"
+	case CorruptTearTail:
+		return "tear-tail"
+	case CorruptFlipCRC:
+		return "flip-crc"
+	case CorruptDuplicateSegment:
+		return "duplicate-segment"
+	}
+	return "unknown"
+}
+
+// CrashPlan is one deterministic crash scenario. Zero value: crash at the
+// first BeforeAppend, no corruption. Plans are single-use — a fired plan
+// keeps failing its point, which matches the Writer's own failure latch.
+type CrashPlan struct {
+	// Point is the hook the crash fires at.
+	Point CrashPoint
+	// AfterOps fires the crash on the Nth traversal of Point (1-based;
+	// 0 behaves as 1).
+	AfterOps uint64
+	// Corrupt is the mutilation Mutilate applies after the crash.
+	Corrupt CorruptMode
+
+	ops   atomic.Uint64
+	fired atomic.Bool
+}
+
+// NewCrashPlan derives a crash scenario deterministically from seed: the
+// same seed always yields the same (point, count, corruption) triple, so a
+// soak failure replays from the seed it logged.
+func NewCrashPlan(seed uint64) *CrashPlan {
+	rng := xrand.New(xrand.Mix(seed | 1))
+	return &CrashPlan{
+		Point:    CrashPoint(rng.Intn(int(numCrashPoints))),
+		AfterOps: 1 + uint64(rng.Intn(40)),
+		Corrupt:  CorruptMode(rng.Intn(int(numCorruptModes))),
+	}
+}
+
+// String describes the scenario for failure logs.
+func (p *CrashPlan) String() string {
+	return fmt.Sprintf("crash at %s op %d, corrupt %s", p.Point, p.AfterOps, p.Corrupt)
+}
+
+// Fired reports whether the crash has been injected.
+func (p *CrashPlan) Fired() bool { return p.fired.Load() }
+
+// Hooks returns the wal.Hooks wiring this plan into a Writer.
+func (p *CrashPlan) Hooks() wal.Hooks {
+	return wal.Hooks{
+		BeforeAppend: func() error { return p.at(CrashBeforeAppend) },
+		AfterAppend:  func() error { return p.at(CrashAfterAppend) },
+		BeforeSync:   func() error { return p.at(CrashBeforeSync) },
+		AfterSync:    func() error { return p.at(CrashAfterSync) },
+	}
+}
+
+// at counts traversals of pt and injects ErrCrash from the configured count
+// on. Once fired the point stays failed — a crashed process does not come
+// back for one more append.
+func (p *CrashPlan) at(pt CrashPoint) error {
+	if pt != p.Point {
+		return nil
+	}
+	n := p.AfterOps
+	if n == 0 {
+		n = 1
+	}
+	if p.ops.Add(1) >= n {
+		p.fired.Store(true)
+		return ErrCrash
+	}
+	return nil
+}
+
+// Mutilate applies the plan's corruption to the log directory. Call it after
+// the crash fired and the Writer is closed, before Recover. Tail damage is
+// only ever applied to the newest segment — damage to older (fully synced)
+// segments models broken hardware, not a crash, and recovery correctly
+// refuses it.
+func (p *CrashPlan) Mutilate(dir string) error {
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		return err
+	}
+	sort.Strings(segs) // zero-padded names: lexicographic == sequence order
+	newest := segs[len(segs)-1]
+	switch p.Corrupt {
+	case CorruptNone:
+		return nil
+	case CorruptTearTail:
+		info, err := os.Stat(newest)
+		if err != nil {
+			return err
+		}
+		// Tear 1..16 bytes, never into the magic header.
+		cut := int64(1 + p.AfterOps%16)
+		if size := info.Size() - 8; cut > size {
+			cut = size
+		}
+		if cut <= 0 {
+			return nil
+		}
+		return os.Truncate(newest, info.Size()-cut)
+	case CorruptFlipCRC:
+		f, err := os.OpenFile(newest, os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		if info.Size() <= 8 {
+			return nil // header only: nothing to corrupt
+		}
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], info.Size()-1); err != nil {
+			return err
+		}
+		b[0] ^= 1 << (p.AfterOps % 8)
+		_, err = f.WriteAt(b[:], info.Size()-1)
+		return err
+	case CorruptDuplicateSegment:
+		// Re-deliver the oldest segment under a sequence past the newest.
+		var maxSeq uint64
+		if _, err := fmt.Sscanf(filepath.Base(newest), "wal-%d.seg", &maxSeq); err != nil {
+			return err
+		}
+		dup := filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", maxSeq+1))
+		return copyFile(segs[0], dup)
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -57,6 +57,8 @@ func (tm *TM) commitBatch(reqs []*mvutil.CommitReq) {
 	// submitter at any time, and TM-held scratch must not pin it.
 	clear(tm.batchPend[:cap(tm.batchPend)])
 	clear(tm.batchAdmitted[:cap(tm.batchAdmitted)])
+	clear(tm.batchLogged[:cap(tm.batchLogged)])
+	clear(tm.batchRecs[:cap(tm.batchRecs)])
 }
 
 // commitRound admits a write-write-disjoint subset of pend, installs it under
@@ -71,6 +73,19 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 			tm.finishMember(m, stm.ReasonMemoryPressure)
 		}
 		return nil
+	}
+
+	// Durability fail-fast: a latched logger can never accept another append,
+	// so fail the round at the door — before any lock or clock tick — instead
+	// of installing versions whose batch record is known to be unwritable.
+	logger := tm.opts.Logger
+	if logger != nil {
+		if e, ok := logger.(interface{ Err() error }); ok && e.Err() != nil {
+			for _, m := range pend {
+				tm.finishMember(m, stm.ReasonDurability)
+			}
+			return nil
+		}
 	}
 
 	// Selection: provably doomed members fail without consuming clock ticks
@@ -156,6 +171,8 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 	// its reserved tick (a harmless clock gap, same as a serial post-increment
 	// abort).
 	var charge mvutil.BatchCharge
+	logged := tm.batchLogged[:0]
+	tm.batchRecs = tm.batchRecs[:0]
 	for _, m := range locked {
 		// Anti-dependency target check (serial HANDLEWRITE's stamp check),
 		// deliberately at the member's turn rather than the lock phase:
@@ -181,14 +198,51 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 			m.twOrder = m.minAntiDep // time-warp commit
 		}
 		ents := m.writeSet.Entries()
+		if logger == nil {
+			for i := range ents {
+				tm.createNewVersion(m, ents[i].Key, ents[i].Val, &charge)
+				ents[i].Key.unlock(m)
+			}
+			m.locked = m.locked[:0]
+			m.inBatch = false
+			m.stats.RecordCommit(false)
+			m.req.Finish(true)
+			continue
+		}
+		// Durability path: install at the member's turn as usual (later
+		// members' scans must see these versions), but keep the commit locks —
+		// a version is only reachable by other transactions once its variable
+		// unlocks, so deferring the unlock to after the batch append preserves
+		// append-before-visible without disturbing intra-batch validation.
 		for i := range ents {
 			tm.createNewVersion(m, ents[i].Key, ents[i].Val, &charge)
-			ents[i].Key.unlock(m)
 		}
-		m.locked = m.locked[:0]
-		m.inBatch = false
-		m.stats.RecordCommit(false)
-		m.req.Finish(true)
+		logged = append(logged, m)
+		tm.batchRecs = append(tm.batchRecs, m.logRecord())
+	}
+	tm.batchLogged = logged
+	if logger != nil && len(logged) > 0 {
+		// One record per clock advance: the batch's survivors in natural
+		// order, appended while every survivor's write locks are still held.
+		lsn, err := logger.Append(tm.batchRecs)
+		for _, m := range logged {
+			m.releaseLocks()
+			m.inBatch = false
+		}
+		if err == nil {
+			// Group commit: one durability wait covers the whole batch. A
+			// Durable failure cannot demote the commits (versions are
+			// visible); the latched writer fails the next round at the door
+			// and the health watchdog surfaces the stall.
+			logger.Durable(lsn) //nolint:errcheck
+		}
+		// On append failure the members were already installed, so the batch
+		// stands in memory un-logged; acks must be gated on Writer.Err by
+		// callers that promise zero loss (see internal/server).
+		for _, m := range logged {
+			m.stats.RecordCommit(false)
+			m.req.Finish(true)
+		}
 	}
 	charge.Flush(tm.opts.Budget)
 	tm.maybeGCBatch(k)

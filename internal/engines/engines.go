@@ -110,3 +110,36 @@ func MustNewBudgeted(name string, budget *mvutil.VersionBudget, maxDepth int) st
 	}
 	return tm
 }
+
+// DurableSet lists the engines that accept a commit logger (DESIGN.md §16):
+// the multi-versioned engines, serial and group-commit alike.
+func DurableSet() []string { return []string{"jvstm", "jvstm-gc", "twm", "twm-gc"} }
+
+// NewDurable constructs one of the WAL-capable engines with a commit logger
+// attached: every update commit appends its write set before any version
+// becomes visible and waits out the logger's durability policy before
+// acknowledging (the stm.CommitLogger protocol). Attaching the logger at
+// construction is safe even while recovery is still replaying — NewVar never
+// logs, so re-creating variables with recovered values writes nothing.
+func NewDurable(name string, logger stm.CommitLogger) (stm.TM, error) {
+	switch name {
+	case "twm":
+		return core.New(core.Options{Logger: logger}), nil
+	case "twm-gc":
+		return core.New(core.Options{GroupCommit: true, Logger: logger}), nil
+	case "jvstm":
+		return jvstm.New(jvstm.Options{Logger: logger}), nil
+	case "jvstm-gc":
+		return jvstm.New(jvstm.Options{GroupCommit: true, Logger: logger}), nil
+	}
+	return nil, fmt.Errorf("engines: engine %q does not support a commit logger (have %v)", name, DurableSet())
+}
+
+// MustNewDurable is NewDurable for static names in tests and benchmarks.
+func MustNewDurable(name string, logger stm.CommitLogger) stm.TM {
+	tm, err := NewDurable(name, logger)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}

@@ -50,6 +50,13 @@ const (
 	// CondBudget: the version budget reads hard pressure — installs are
 	// being refused (or imminently will be) with stm.ReasonMemoryPressure.
 	CondBudget
+	// CondWALStall: the engine's write-ahead log is failing or wedged — the
+	// writer has latched an error (every further commit aborts with
+	// stm.ReasonDurability), or appended records are pending durability and
+	// the synced watermark made no progress across the window (an fsync that
+	// never returns; committers under per-commit or per-batch policies are
+	// blocked inside Durable).
+	CondWALStall
 	numConditions
 )
 
@@ -64,8 +71,20 @@ func (c Condition) String() string {
 		return "clock-stall"
 	case CondBudget:
 		return "budget-hard"
+	case CondWALStall:
+		return "wal-stall"
 	}
 	return "unknown"
+}
+
+// WALProber exposes the write-ahead-log counters the watchdog samples.
+// wal.Writer implements it; the indirection keeps this package free of a wal
+// dependency so clockless or WAL-less engines cost nothing.
+type WALProber interface {
+	// WALCounters reports records appended, records durable (synced), records
+	// appended but not yet durable, and the writer's latched error (nil while
+	// healthy).
+	WALCounters() (appended, synced uint64, pending int, err error)
 }
 
 // Target is one observed engine. Any field but Name and Stats may be nil /
@@ -84,6 +103,8 @@ type Target struct {
 	Active *mvutil.ActiveSet
 	// Budget is the engine's version budget; nil disables CondBudget.
 	Budget *mvutil.VersionBudget
+	// WAL is the engine's commit-log writer; nil disables CondWALStall.
+	WAL WALProber
 }
 
 // Capability interfaces TargetOf probes for. The multi-version engines
@@ -92,6 +113,7 @@ type (
 	clocked     interface{ Clock() uint64 }
 	activeSeter interface{ ActiveSet() *mvutil.ActiveSet }
 	budgeted    interface{ Budget() *mvutil.VersionBudget }
+	logged      interface{ CommitLogger() stm.CommitLogger }
 )
 
 // TargetOf derives a Target from an engine, probing the optional capabilities
@@ -107,6 +129,11 @@ func TargetOf(tm stm.TM) Target {
 	}
 	if b, ok := tm.(budgeted); ok {
 		t.Budget = b.Budget()
+	}
+	if l, ok := tm.(logged); ok {
+		if p, ok := l.CommitLogger().(WALProber); ok {
+			t.WAL = p
+		}
 	}
 	return t
 }
@@ -189,6 +216,7 @@ type targetState struct {
 	// serial commit path, the mean batch size under group commit. Carried
 	// across tickless windows (idle ticks say nothing new).
 	commitsPerTick float64
+	walSynced      uint64 // WAL synced watermark at the previous sample
 	conds          [numConditions]condState
 }
 
@@ -230,6 +258,9 @@ func New(cfg Config, targets ...Target) *Watchdog {
 		st.starts, st.commits, _, st.aborts = targets[i].Stats.Totals()
 		if targets[i].Clock != nil {
 			st.clock = targets[i].Clock()
+		}
+		if targets[i].WAL != nil {
+			_, st.walSynced, _, _ = targets[i].WAL.WALCounters()
 		}
 	}
 	return w
@@ -322,6 +353,18 @@ func (w *Watchdog) Step() {
 				t.Budget.Level() == mvutil.PressureHard,
 				"versions", uint64(t.Budget.Versions()), "rejects", t.Budget.Rejects())
 		}
+
+		if t.WAL != nil {
+			// Bad: the writer latched an error, or records are waiting on
+			// durability with a watermark that did not move all window.
+			// pending == 0 is always good — an idle or interval-policy log.
+			_, synced, pending, werr := t.WAL.WALCounters()
+			stalled := werr != nil || (pending > 0 && synced == st.walSynced)
+			st.walSynced = synced
+			w.judge(t, st, CondWALStall,
+				stalled,
+				"pending", uint64(pending), "synced", synced)
+		}
 	}
 	fire := w.pending
 	cbs := w.cfg.OnAlert
@@ -377,17 +420,23 @@ func (w *Watchdog) Active(target string, c Condition) bool {
 
 // TargetSnapshot is the JSON-able state of one target.
 type TargetSnapshot struct {
-	Name     string                 `json:"name"`
-	Starts   uint64                 `json:"starts"`
-	Commits  uint64                 `json:"commits"`
-	Aborts   uint64                 `json:"aborts"`
-	Clock    uint64                 `json:"clock,omitempty"`
-	MinStart uint64                 `json:"minStart,omitempty"`
+	Name     string `json:"name"`
+	Starts   uint64 `json:"starts"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+	Clock    uint64 `json:"clock,omitempty"`
+	MinStart uint64 `json:"minStart,omitempty"`
 	// CommitsPerTick is the last sampled window's commits per clock tick:
 	// ≈1 on a serial commit path, the mean batch size under group commit.
-	CommitsPerTick float64 `json:"commitsPerTick,omitempty"`
-	Budget   *mvutil.BudgetSnapshot `json:"budget,omitempty"`
-	Active   []string               `json:"activeConditions,omitempty"`
+	CommitsPerTick float64                `json:"commitsPerTick,omitempty"`
+	Budget         *mvutil.BudgetSnapshot `json:"budget,omitempty"`
+	// WALPending/WALSynced/WALErr mirror the WAL prober when one is attached:
+	// records appended but not yet durable, the durable watermark, and the
+	// writer's latched error.
+	WALPending int      `json:"walPending,omitempty"`
+	WALSynced  uint64   `json:"walSynced,omitempty"`
+	WALErr     string   `json:"walErr,omitempty"`
+	Active     []string `json:"activeConditions,omitempty"`
 }
 
 // Snapshot is the JSON-able state of the whole watchdog.
@@ -415,6 +464,13 @@ func (w *Watchdog) Snapshot() Snapshot {
 		if t.Budget != nil {
 			b := t.Budget.Snapshot()
 			ts.Budget = &b
+		}
+		if t.WAL != nil {
+			var werr error
+			_, ts.WALSynced, ts.WALPending, werr = t.WAL.WALCounters()
+			if werr != nil {
+				ts.WALErr = werr.Error()
+			}
 		}
 		for c := Condition(0); c < numConditions; c++ {
 			if w.states[i].conds[c].active {

@@ -48,6 +48,8 @@ func (tm *TM) commitBatch(reqs []*mvutil.CommitReq) {
 	// submitter at any time, and TM-held scratch must not pin it.
 	clear(tm.batchPend[:cap(tm.batchPend)])
 	clear(tm.batchAdmitted[:cap(tm.batchAdmitted)])
+	clear(tm.batchLogged[:cap(tm.batchLogged)])
+	clear(tm.batchRecs[:cap(tm.batchRecs)])
 }
 
 // commitRound admits a write-write-disjoint subset of pend, installs it under
@@ -59,6 +61,19 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 			tm.finishMember(m, stm.ReasonMemoryPressure)
 		}
 		return nil
+	}
+
+	// Durability fail-fast: a latched logger can never accept another append,
+	// so fail the round at the door — before any lock or clock tick — instead
+	// of installing versions whose batch record is known to be unwritable.
+	logger := tm.opts.Logger
+	if logger != nil {
+		if e, ok := logger.(interface{ Err() error }); ok && e.Err() != nil {
+			for _, m := range pend {
+				tm.finishMember(m, stm.ReasonDurability)
+			}
+			return nil
+		}
 	}
 
 	// Selection: members whose read set is already stale fail without
@@ -146,6 +161,8 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 	// batch's Add follows every member's Begin), so the shortcut can only
 	// fire for the first member, for which it is the ordinary TL2 argument.
 	var charge mvutil.BatchCharge
+	logged := tm.batchLogged[:0]
+	tm.batchRecs = tm.batchRecs[:0]
 	for i, m := range locked {
 		wv := first + uint64(i)
 		if wv != m.start+1 {
@@ -179,12 +196,44 @@ func (tm *TM) commitRound(pend []*txn) []*txn {
 				v.hist = append(v.hist, stm.VersionRecord{Value: val, Serial: wv})
 				v.histMu.Unlock()
 			}
-			v.owner.CompareAndSwap(m, nil)
+			if logger == nil {
+				v.owner.CompareAndSwap(m, nil)
+			}
 		}
-		m.locked = m.locked[:0]
-		m.inBatch = false
-		m.stats.RecordCommit(false)
-		m.req.Finish(true)
+		if logger == nil {
+			m.locked = m.locked[:0]
+			m.inBatch = false
+			m.stats.RecordCommit(false)
+			m.req.Finish(true)
+			continue
+		}
+		// Durability path: keep the commit locks — a head is only readable
+		// once its variable unlocks (readers wait owners out), so deferring
+		// the unlock to after the batch append preserves append-before-visible
+		// without disturbing intra-batch validation.
+		logged = append(logged, m)
+		tm.batchRecs = append(tm.batchRecs, m.logRecord(wv))
+	}
+	tm.batchLogged = logged
+	if logger != nil && len(logged) > 0 {
+		// One record per clock advance: the batch's survivors in version
+		// order, appended while every survivor's write locks are still held.
+		lsn, err := logger.Append(tm.batchRecs)
+		for _, m := range logged {
+			m.releaseLocks()
+			m.inBatch = false
+		}
+		if err == nil {
+			// Group commit: one durability wait covers the whole batch.
+			logger.Durable(lsn) //nolint:errcheck
+		}
+		// On append failure the members were already installed, so the batch
+		// stands in memory un-logged; acks must be gated on Writer.Err by
+		// callers that promise zero loss (see internal/server).
+		for _, m := range logged {
+			m.stats.RecordCommit(false)
+			m.req.Finish(true)
+		}
 	}
 	charge.Flush(tm.opts.Budget)
 	tm.maybeGCBatch(k)

@@ -49,6 +49,12 @@ type Options struct {
 	GroupMaxBatch int
 	// GroupHooks injects the combiner's fault points (internal/chaos).
 	GroupHooks *mvutil.BatchHooks
+	// Logger, when non-nil, receives every update commit's write set under
+	// the two-phase stm.CommitLogger protocol, exactly as in internal/core:
+	// Append runs with the write locks held, before any version is visible;
+	// Durable runs after install, before the commit is acknowledged. JVSTM
+	// never time-warps, so records carry Tie == Serial (== the write version).
+	Logger stm.CommitLogger
 }
 
 const (
@@ -84,6 +90,11 @@ type TM struct {
 	batchPend     []*txn
 	batchAdmitted []*txn
 	batchClaimed  map[*jvar]struct{}
+	// batchLogged/batchRecs are the leader's durability scratch (Logger
+	// only): members whose unlocks are deferred until the batch record is
+	// appended, and the one record per clock advance handed to the logger.
+	batchLogged []*txn
+	batchRecs   []stm.CommitRecord
 }
 
 // New returns a JVSTM instance.
@@ -134,6 +145,24 @@ func (tm *TM) ActiveSet() *mvutil.ActiveSet { return tm.active }
 
 // Budget exposes the configured version budget; nil when unbounded.
 func (tm *TM) Budget() *mvutil.VersionBudget { return tm.opts.Budget }
+
+// CommitLogger exposes the configured durability logger; nil when the engine
+// runs without a write-ahead log (health watchdog, server wiring).
+func (tm *TM) CommitLogger() stm.CommitLogger { return tm.opts.Logger }
+
+// SeedClock raises the commit clock to at least v. Recovery-only: call it
+// once, after replaying a WAL and before the first transaction, so
+// post-recovery commits draw write versions strictly above every recovered
+// serial. Recovered values themselves are installed as initial versions
+// (version 0) via NewVar.
+func (tm *TM) SeedClock(v uint64) {
+	for {
+		cur := tm.clock.Load()
+		if cur >= v || tm.clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // jversion is one committed value (a JVSTM "body").
 type jversion struct {
@@ -194,6 +223,23 @@ type txn struct {
 	shard   int
 	req     mvutil.CommitReq
 	inBatch bool
+
+	// logRecs/logWrites are scratch for the commit-logger hand-off; the logger
+	// must not retain them past Append (stm.CommitLogger contract).
+	logRecs   []stm.CommitRecord
+	logWrites []stm.LoggedWrite
+}
+
+// logRecord builds this transaction's commit record over the scratch slices.
+// JVSTM serializes in natural (write-version) order, so Tie == Serial == wv.
+func (tx *txn) logRecord(wv uint64) stm.CommitRecord {
+	ents := tx.writeSet.Entries()
+	w := tx.logWrites[:0]
+	for i := range ents {
+		w = append(w, stm.LoggedWrite{VarID: ents[i].Key.id, Value: ents[i].Val})
+	}
+	tx.logWrites = w
+	return stm.CommitRecord{Serial: wv, Tie: wv, Writes: w}
 }
 
 // ReadOnly implements stm.Tx.
@@ -408,6 +454,19 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 		t0 = now
 	}
 
+	// Durability: the commit is decided — append the write set before any
+	// version becomes visible (the locks are still held, and readers wait
+	// them out), so the log's append order respects the reads-from order. A
+	// refused append fails the commit with nothing installed.
+	var lsn stm.LSN
+	if l := tm.opts.Logger; l != nil {
+		tx.logRecs = append(tx.logRecs[:0], tx.logRecord(wv))
+		var err error
+		if lsn, err = l.Append(tx.logRecs); err != nil {
+			return tx.failCommit(stm.ReasonDurability)
+		}
+	}
+
 	for i := range ents {
 		v, val := ents[i].Key, ents[i].Val
 		nv := &jversion{value: val, ver: wv}
@@ -429,6 +488,12 @@ func (tm *TM) Commit(txi stm.Tx) bool {
 	}
 	tx.stats.RecordCommit(false)
 	tm.maybeGC()
+	if l := tm.opts.Logger; l != nil {
+		// Wait out the fsync policy before acknowledging. A Durable failure
+		// cannot demote the commit (its versions are visible); the latched
+		// writer fails the next Append and the health watchdog surfaces it.
+		l.Durable(lsn) //nolint:errcheck
+	}
 	return true
 }
 

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -34,11 +36,25 @@ type account struct {
 // shared (stm.TM.NewVar is not transactional), so account creation takes the
 // write lock once and every request-path lookup is a read-locked map hit.
 // All money movement happens inside transactions over the accounts' TVars.
+//
+// On a durable server (Config.WALDir) the ledger also owns the metadata side
+// of the log: each creation appends one meta record — payload, variable
+// allocation and registration all under the write lock, so the meta sequence
+// order equals the creation order equals the variable-id order, which is what
+// lets recovery re-create accounts with the exact variable ids the log's
+// commit records refer to.
 type Ledger struct {
 	tm stm.TM
 
+	// logMeta, when non-nil, durably appends one creation record
+	// (wal.Writer.AppendMeta); a refusal fails the creation — an account the
+	// log does not know cannot be recovered.
+	logMeta func(payload []byte) error
+
 	mu       sync.RWMutex
 	accounts map[string]*account
+	order    []string // ids in creation order (the meta sequence order)
+	metas    [][]byte // meta payloads in creation order (checkpoint copies)
 }
 
 // NewLedger returns an empty ledger over tm.
@@ -49,20 +65,40 @@ func NewLedger(tm stm.TM) *Ledger {
 // Create registers a new account with an initial balance. It is
 // non-transactional (variable allocation happens outside any transaction);
 // the handle is published under the registry lock before any transaction can
-// reach it.
+// reach it. Allocation happens under the lock too, so on a durable ledger
+// the variable ids follow the meta sequence order (see the type comment).
 func (l *Ledger) Create(id string, initial int64) error {
 	if initial < 0 {
 		return ErrBadAmount
 	}
-	bal := stm.NewTVar(l.tm, initial)
-	held := stm.NewTVar(l.tm, int64(0))
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.accounts[id]; ok {
 		return ErrExists
 	}
-	l.accounts[id] = &account{balance: bal, held: held}
+	var payload []byte
+	if l.logMeta != nil {
+		var err error
+		if payload, err = json.Marshal(accountMeta{ID: id, Balance: initial}); err != nil {
+			return err
+		}
+		if err := l.logMeta(payload); err != nil {
+			return fmt.Errorf("ledger: durable create: %w", err)
+		}
+	}
+	bal := stm.NewTVar(l.tm, initial)
+	held := stm.NewTVar(l.tm, int64(0))
+	l.register(id, &account{balance: bal, held: held}, payload)
 	return nil
+}
+
+// register publishes one account under the held write lock.
+func (l *Ledger) register(id string, a *account, payload []byte) {
+	l.accounts[id] = a
+	if l.logMeta != nil {
+		l.order = append(l.order, id)
+		l.metas = append(l.metas, payload)
+	}
 }
 
 // lookup resolves an account id outside any transaction.

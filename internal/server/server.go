@@ -31,12 +31,14 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engines"
 	"repro/internal/health"
 	"repro/internal/stm"
+	"repro/internal/wal"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -75,6 +77,28 @@ type Config struct {
 	// Debug adds the /debugz fault-drill endpoints (panic inside a handler,
 	// panic inside a transaction body). Tests and ops drills only.
 	Debug bool
+
+	// WALDir, when set, makes the server durable: boot replays the directory's
+	// snapshot and log (wal.Recover), the engine is built with the log attached
+	// (engines.NewDurable — Engine must name a WAL-capable engine, and TM must
+	// be nil), and every committed write set is appended before it is
+	// acknowledged. See DESIGN.md §16.
+	WALDir string
+	// FsyncPolicy selects the durability/latency trade ("per-commit",
+	// "per-batch" or "interval"; default per-commit). Zero-loss guarantees hold
+	// only at per-commit.
+	FsyncPolicy string
+	// SnapshotEvery is the periodic checkpoint interval (default 1m; <0
+	// disables periodic checkpoints — Close still writes a final one).
+	SnapshotEvery time.Duration
+
+	// ReadHeaderTimeout bounds how long a connection may dribble its request
+	// header before the server cuts it off (default 5s) — the slow-loris
+	// guard. IdleTimeout reaps idle keep-alive connections (default 60s);
+	// MaxHeaderBytes caps header memory per connection (default 64KB).
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
 }
 
 // Metrics are the server's own request-outcome counters (the engine's
@@ -104,6 +128,14 @@ type Server struct {
 	// draining flips when Serve begins shutdown; /healthz then reports 503 so
 	// load balancers stop routing to an instance that is about to go away.
 	draining atomic.Bool
+
+	// Durable-mode state (nil/zero on a memory-only server): the log writer,
+	// a mutex serializing checkpoints, and the periodic checkpoint loop's
+	// lifecycle channels.
+	wal      *wal.Writer
+	ckptMu   sync.Mutex
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
 // New builds a server over the configured engine. The health watchdog starts
@@ -116,6 +148,19 @@ func New(cfg Config) (*Server, error) {
 		cfg.Engine = "twm"
 	}
 	tm := cfg.TM
+	var (
+		w   *wal.Writer
+		rec *wal.Recovered
+	)
+	if cfg.WALDir != "" {
+		if tm != nil {
+			return nil, errors.New("server: Config.TM and Config.WALDir are mutually exclusive (a durable engine must be built with the log attached)")
+		}
+		var err error
+		if tm, w, rec, err = openDurable(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	if tm == nil {
 		var err error
 		if tm, err = engines.New(cfg.Engine); err != nil {
@@ -137,11 +182,27 @@ func New(cfg Config) (*Server, error) {
 		gate:   stm.NewAdmissionGate(cfg.GateLimit, cfg.GateWait),
 		ledger: NewLedger(tm),
 		log:    cfg.Logger,
+		wal:    w,
 	}
-	for i := 0; i < cfg.Accounts; i++ {
-		if err := s.ledger.Create(fmt.Sprint(i), cfg.InitialBalance); err != nil {
+	if w != nil {
+		s.ledger.logMeta = w.AppendMeta
+		if err := s.recover(rec); err != nil {
+			w.Close()
 			return nil, err
 		}
+	}
+	for i := 0; i < cfg.Accounts; i++ {
+		err := s.ledger.Create(fmt.Sprint(i), cfg.InitialBalance)
+		if errors.Is(err, ErrExists) {
+			continue // recovered from the log; its durable balance stands
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if w != nil && cfg.SnapshotEvery > 0 {
+		s.snapStop, s.snapDone = make(chan struct{}), make(chan struct{})
+		go s.checkpointLoop(cfg.SnapshotEvery)
 	}
 	if cfg.WatchdogEvery > 0 {
 		s.dog = health.New(health.Config{
@@ -168,11 +229,24 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Ledger exposes the account table (seeding and audits).
 func (s *Server) Ledger() *Ledger { return s.ledger }
 
-// Close stops the watchdog's sampling goroutine. It does not wait for
-// in-flight requests — that is Serve's drain (or the HTTP server's Shutdown).
+// Close stops the watchdog's sampling goroutine and, on a durable server,
+// writes a final checkpoint and closes the log. It does not wait for in-flight
+// requests — that is Serve's drain (or the HTTP server's Shutdown); call Close
+// after the drain so the final checkpoint covers everything acknowledged.
 func (s *Server) Close() {
 	if s.dog != nil {
 		s.dog.Stop()
+	}
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+		s.snapStop = nil
+	}
+	if s.wal != nil {
+		if err := s.Checkpoint(); err != nil {
+			s.log.Warn("final checkpoint failed; recovery will replay the full log", "err", err)
+		}
+		s.wal.Close()
 	}
 }
 
@@ -202,9 +276,29 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	// retrying then.
 	base, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
+	// Protocol-level self-defence lives here, not in middleware: a client
+	// that never finishes its header never reaches a handler, so only the
+	// http.Server itself can bound it (ReadHeaderTimeout). IdleTimeout reaps
+	// parked keep-alive connections and MaxHeaderBytes caps what an unread
+	// header can make us buffer.
+	readHeader := s.cfg.ReadHeaderTimeout
+	if readHeader == 0 {
+		readHeader = 5 * time.Second
+	}
+	idle := s.cfg.IdleTimeout
+	if idle == 0 {
+		idle = 60 * time.Second
+	}
+	maxHeader := s.cfg.MaxHeaderBytes
+	if maxHeader == 0 {
+		maxHeader = 64 << 10
+	}
 	hs := &http.Server{
-		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return base },
+		Handler:           s.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return base },
+		ReadHeaderTimeout: readHeader,
+		IdleTimeout:       idle,
+		MaxHeaderBytes:    maxHeader,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

@@ -52,6 +52,13 @@ const (
 	// the retries-by-reason histogram; no engine ever produces it and no
 	// attempt ran.
 	ReasonOverload
+	// ReasonDurability: the engine's CommitLogger refused the write-ahead
+	// append, so the commit failed before installing any version — an
+	// acknowledged commit must never be less durable than the fsync policy
+	// promises. The logger latches its first failure, so these aborts persist
+	// until the operator replaces the log (the health watchdog's WAL-stall
+	// condition surfaces the state).
+	ReasonDurability
 
 	numAbortReasons
 )
@@ -81,6 +88,8 @@ func (r AbortReason) String() string {
 		return "memory-pressure"
 	case ReasonOverload:
 		return "overload"
+	case ReasonDurability:
+		return "durability"
 	}
 	return "unknown"
 }

@@ -113,6 +113,11 @@ var reasonClasses = [numAbortReasons]reasonClass{
 	// Overload never reaches Wait (the gate refuses before any attempt runs);
 	// the entry exists so the schedule table stays total over the reasons.
 	ReasonOverload: {yields: 2, baseNS: 1 << 10, maxShift: 10},
+	// A durability abort means the commit logger latched a failure, which no
+	// retry can clear — the operator has to intervene. Sleep immediately with
+	// the widest, most patient window in the table; spinning would hammer a
+	// log that is already refusing appends.
+	ReasonDurability: {yields: 0, baseNS: 1 << 14, maxShift: 10},
 }
 
 type reasonCM struct {

@@ -42,9 +42,18 @@ func (f *Future) Wait() error {
 // to AtomicallyAsyncCtx or AtomicallyAsyncGated, to stop the retry loop
 // itself). A nil ctx never cancels, same as Backoff.WaitCtx and the
 // Atomically variants.
+//
+// An already-cancelled ctx deterministically returns a *CancelledError (with
+// zero attempts published — this is the waiter giving up, not the transaction
+// aborting), even when the future has also resolved: a two-ready-channel
+// select chooses randomly, and a caller that checked its context before
+// waiting must not sometimes observe a success it is required to discard.
 func (f *Future) WaitCtx(ctx context.Context) error {
 	if ctx == nil {
 		return f.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelledError{Err: err}
 	}
 	select {
 	case <-f.done:

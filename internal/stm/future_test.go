@@ -119,3 +119,38 @@ func TestAsyncGatedNilGateAndPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWaitCtxCancelledBeforeWaitDeterministic: a context that is already
+// cancelled when WaitCtx is called must ALWAYS return a *CancelledError, even
+// when the future has long since resolved successfully. A two-ready-channel
+// select would choose randomly; a caller that honours its context must never
+// be handed a success it is required to discard. The loop is what makes the
+// regression reliable — the old behavior passed this test roughly half the
+// iterations.
+func TestWaitCtxCancelledBeforeWaitDeterministic(t *testing.T) {
+	tm := &fakeTM{}
+	f := AtomicallyAsync(tm, false, func(Tx) error { return nil })
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	attemptsBefore := tm.commits
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		err := f.WaitCtx(ctx)
+		var ce *CancelledError
+		if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want *CancelledError wrapping context.Canceled", i, err)
+		}
+		if ce.Attempts != 0 {
+			t.Fatalf("iteration %d: published %d attempts; an abandoned wait is not an abort", i, ce.Attempts)
+		}
+	}
+	if tm.commits != attemptsBefore {
+		t.Fatalf("WaitCtx touched the transaction: commits %d -> %d", attemptsBefore, tm.commits)
+	}
+	// The resolved result is still there for a well-behaved waiter.
+	if err := f.WaitCtx(context.Background()); err != nil {
+		t.Fatalf("fresh-context WaitCtx = %v", err)
+	}
+}
