@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardClockFigureSmoke runs a tiny shard-clock sweep end to end: both
+// engine rows appear, every cell carries commits, the sharded cells classify
+// their commits (single-shard at cross = 0, both classes at cross > 0), and
+// the artifact round-trips through the JSON writer.
+func TestShardClockFigureSmoke(t *testing.T) {
+	sc := ShardClockConfig{
+		Partitions:       4,
+		VarsPerPartition: 32,
+		WritesPerTx:      3,
+		ZipfS:            1.1,
+		Seed:             7,
+		CrossFracs:       []float64{0, 0.5},
+	}
+	cfg := FigureConfig{Threads: []int{4}, Duration: 30 * time.Millisecond, Seed: 7}
+	var buf bytes.Buffer
+	art, err := ShardClockFigure(&buf, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sc.CrossFracs) * len(cfg.Threads) * 2; len(art.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(art.Cells), want)
+	}
+	for _, c := range art.Cells {
+		if c.Commits == 0 {
+			t.Errorf("cell %s t=%d cross=%.2f: no commits", c.Engine, c.Threads, c.CrossFrac)
+		}
+		if c.ClockShards > 1 {
+			if c.SingleShardCommits == 0 {
+				t.Errorf("sharded cell cross=%.2f: no single-shard commits", c.CrossFrac)
+			}
+			if c.CrossFrac > 0 && c.CrossShardCommits == 0 {
+				t.Errorf("sharded cell cross=%.2f: no cross-shard commits", c.CrossFrac)
+			}
+			if c.CrossFrac == 0 && c.CrossShardCommits != 0 {
+				t.Errorf("sharded cell cross=0: %d cross-shard commits", c.CrossShardCommits)
+			}
+		} else if c.SingleShardCommits != 0 || c.CrossShardCommits != 0 {
+			t.Errorf("unsharded cell recorded shard commit classes")
+		}
+	}
+	for _, want := range []string{"twm-shard4", "Shard clock gain", "Shard commit classes"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	var js bytes.Buffer
+	if err := art.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"experiment": "shardclock"`) {
+		t.Errorf("artifact JSON missing experiment tag")
+	}
+}
+
+// TestShardClockSharder pins the partition-major id mapping: NewVar ids are
+// 1-based, so partition p's variables (ids p*V+1 .. (p+1)*V) must land on
+// shard p.
+func TestShardClockSharder(t *testing.T) {
+	s := shardClockSharder(32)
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 32; i++ {
+			id := uint64(p*32 + i + 1)
+			if got := s(id, 4); got != p {
+				t.Fatalf("sharder(%d) = %d, want %d", id, got, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package jvstm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dsg"
+	"repro/internal/jvstm"
+	"repro/internal/stm"
+	"repro/internal/stm/stmtest"
+)
+
+// Partitioned multi-clock tests for the JVSTM baseline (DESIGN.md §17): the
+// conformance and serializability batteries at several shard counts, the
+// single- vs cross-shard commit accounting, and per-shard clock seeding.
+// JVSTM never time-warps, so sharding only changes which number line a
+// commit draws from — the classic validation rule is otherwise untouched.
+
+func shardFactory(k int, group bool) func() stm.TM {
+	return func() stm.TM {
+		return jvstm.New(jvstm.Options{ClockShards: k, GroupCommit: group})
+	}
+}
+
+func TestConformanceClockShards(t *testing.T) {
+	for _, k := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			stmtest.Run(t, shardFactory(k, false), stmtest.Options{RONeverAborts: true})
+		})
+	}
+}
+
+func TestSerializabilityDSGClockShards(t *testing.T) {
+	for _, k := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			dsg.CheckRandom(t, shardFactory(k, false)(), dsg.RunOptions{Seed: uint64(30 + k)})
+		})
+	}
+}
+
+func TestSerializabilityDSGClockShardsHighContention(t *testing.T) {
+	// Few variables over few shards: almost every update transaction has a
+	// multi-shard footprint, hammering the fence draw and per-shard
+	// validation.
+	for _, k := range []int{2, 4} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			dsg.CheckRandom(t, shardFactory(k, false)(),
+				dsg.RunOptions{Vars: 3, Goroutines: 8, TxPerG: 120, Seed: uint64(300 + k)})
+		})
+	}
+}
+
+func TestSerializabilityDSGClockShardsGroupCommit(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			dsg.CheckRandom(t, shardFactory(k, true)(),
+				dsg.RunOptions{Vars: 4, Goroutines: 8, TxPerG: 120, Seed: uint64(400 + k)})
+		})
+	}
+}
+
+func TestConformanceClockShardsGroupCommit(t *testing.T) {
+	stmtest.Run(t, shardFactory(4, true), stmtest.Options{RONeverAborts: true})
+}
+
+func TestShardCommitAccounting(t *testing.T) {
+	tm := jvstm.New(jvstm.Options{ClockShards: 4})
+	a := tm.NewVar(0) // round-robin: shard 0
+	b := tm.NewVar(0) // shard 1
+	if tm.VarShard(a) == tm.VarShard(b) {
+		t.Fatalf("round-robin sharder put consecutive vars on one shard")
+	}
+
+	tx := tm.Begin(false)
+	tx.Write(a, 1)
+	if !tm.Commit(tx) {
+		t.Fatalf("single-shard commit failed")
+	}
+	snap := tm.Stats().Snapshot()
+	if snap.SingleShardCommits != 1 || snap.CrossShardCommits != 0 {
+		t.Fatalf("after single-shard commit: single=%d cross=%d",
+			snap.SingleShardCommits, snap.CrossShardCommits)
+	}
+
+	tx = tm.Begin(false)
+	if got := tx.Read(a); got != 1 {
+		t.Fatalf("read a = %v", got)
+	}
+	tx.Write(b, 2)
+	if !tm.Commit(tx) {
+		t.Fatalf("cross-shard commit failed")
+	}
+	snap = tm.Stats().Snapshot()
+	if snap.SingleShardCommits != 1 || snap.CrossShardCommits != 1 {
+		t.Fatalf("after cross-shard commit: single=%d cross=%d",
+			snap.SingleShardCommits, snap.CrossShardCommits)
+	}
+}
+
+func TestShardCustomSharder(t *testing.T) {
+	tm := jvstm.New(jvstm.Options{
+		ClockShards: 4,
+		Sharder:     func(id uint64, shards int) int { return 2 },
+	})
+	a, b := tm.NewVar(0), tm.NewVar(0)
+	if tm.VarShard(a) != 2 || tm.VarShard(b) != 2 {
+		t.Fatalf("sharder not honored: shards %d, %d", tm.VarShard(a), tm.VarShard(b))
+	}
+	tx := tm.Begin(false)
+	tx.Read(a)
+	tx.Write(b, 1)
+	if !tm.Commit(tx) {
+		t.Fatalf("commit failed")
+	}
+	if snap := tm.Stats().Snapshot(); snap.CrossShardCommits != 0 || snap.SingleShardCommits != 1 {
+		t.Fatalf("colocated footprint took the cross path: %+v", snap)
+	}
+}
+
+// TestShardStaleReadAborts: classic validation per shard — a transaction that
+// read a variable overwritten after its snapshot aborts whether or not the
+// conflicting write lives on another shard.
+func TestShardStaleReadAborts(t *testing.T) {
+	tm := jvstm.New(jvstm.Options{ClockShards: 4})
+	a := tm.NewVar("D") // shard 0
+	b := tm.NewVar("E") // shard 1
+
+	t3 := tm.Begin(false)
+	t3.Read(a)
+	t3.Write(b, "nil")
+
+	t2 := tm.Begin(false)
+	t2.Read(a)
+	t2.Write(a, "B")
+	if !tm.Commit(t2) {
+		t.Fatalf("t2 commit failed")
+	}
+	if tm.Commit(t3) {
+		t.Fatalf("stale cross-shard read must abort under classic validation")
+	}
+	snap := tm.Stats().Snapshot()
+	if snap.ByReason["read-conflict"] != 1 {
+		t.Fatalf("abort reasons = %v, want one read-conflict", snap.ByReason)
+	}
+}
+
+// TestSeedClockShardMonotone races per-shard and global clock seeding against
+// concurrent single-shard committers on every shard (the recovery
+// fast-forward path). No committed update may be lost and the final clock
+// vector must dominate every seed.
+func TestSeedClockShardMonotone(t *testing.T) {
+	const (
+		k       = 4
+		workers = 8
+		perW    = 300
+		seedTo  = 5000
+	)
+	tm := jvstm.New(jvstm.Options{ClockShards: k})
+	vars := make([]stm.Var, k)
+	for i := range vars {
+		vars[i] = tm.NewVar(0) // round-robin: vars[i] on shard i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := vars[w%k]
+			for i := 0; i < perW; i++ {
+				err := stm.Atomically(tm, false, func(tx stm.Tx) error {
+					tx.Write(v, tx.Read(v).(int)+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("atomic increment: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < k; s++ {
+		tm.SeedClockShard(s, seedTo)
+	}
+	tm.SeedClock(seedTo / 2) // lower global seed must be a no-op
+	wg.Wait()
+
+	vec := tm.ClockVec(nil)
+	if len(vec) != k {
+		t.Fatalf("ClockVec len = %d, want %d", len(vec), k)
+	}
+	for s, c := range vec {
+		if c < seedTo {
+			t.Fatalf("shard %d clock %d below seed %d", s, c, seedTo)
+		}
+	}
+	total := 0
+	ro := tm.Begin(true)
+	for _, v := range vars {
+		total += ro.Read(v).(int)
+	}
+	tm.Commit(ro)
+	if want := workers * perW; total != want {
+		t.Fatalf("lost updates across seeding: got %d, want %d", total, want)
+	}
+}
+
+// TestShardGC: per-shard GC bounds keep exactly the newest version per
+// variable once no snapshot can need older ones.
+func TestShardGC(t *testing.T) {
+	tm := jvstm.New(jvstm.Options{ClockShards: 4, GCEveryNCommits: -1})
+	vars := make([]stm.Var, 8)
+	for i := range vars {
+		vars[i] = tm.NewVar(0)
+	}
+	for round := 1; round <= 5; round++ {
+		for _, v := range vars {
+			tx := tm.Begin(false)
+			tx.Write(v, round)
+			if !tm.Commit(tx) {
+				t.Fatalf("commit failed")
+			}
+		}
+	}
+	tm.GC()
+	for i, v := range vars {
+		if n := tm.VersionCount(v); n != 1 {
+			t.Fatalf("var %d retains %d versions after GC, want 1", i, n)
+		}
+		ro := tm.Begin(true)
+		if got := ro.Read(v); got != 5 {
+			t.Fatalf("var %d = %v after GC, want 5", i, got)
+		}
+		tm.Commit(ro)
+	}
+}

@@ -1,0 +1,49 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestAlignShard checks the partition-aware destination draw: the adjusted
+// index stays in range, lands in the requested residue class (same shard or a
+// different one), and same-shard draws avoid the source account whenever the
+// shard holds more than one.
+func TestAlignShard(t *testing.T) {
+	rng := xrand.New(xrand.Mix(7))
+	for _, tc := range []struct{ accounts, k int }{
+		{1024, 4}, {1024, 16}, {100, 8}, {17, 4}, {5, 4},
+	} {
+		for i := 0; i < 2000; i++ {
+			from := rng.Intn(tc.accounts)
+			to := rng.Intn(tc.accounts)
+			cross := i%2 == 0
+			got := alignShard(rng, from, to, tc.accounts, tc.k, cross)
+			if got < 0 || got >= tc.accounts {
+				t.Fatalf("accounts=%d k=%d: alignShard(%d,%d,cross=%v) = %d out of range",
+					tc.accounts, tc.k, from, to, cross, got)
+			}
+			sameShard := got%tc.k == from%tc.k
+			if cross && sameShard {
+				t.Fatalf("accounts=%d k=%d: cross draw %d shares shard with %d",
+					tc.accounts, tc.k, got, from)
+			}
+			if !cross {
+				// from's shard holds more than one account iff from±k is in
+				// range; only then can the draw both stay in the shard and
+				// avoid the source. Single-account shards fall back to any
+				// other account (already covered by the range check above).
+				multi := from+tc.k < tc.accounts || from-tc.k >= 0
+				if multi && !sameShard {
+					t.Fatalf("accounts=%d k=%d: same-shard draw %d left shard of %d",
+						tc.accounts, tc.k, got, from)
+				}
+				if multi && got == from {
+					t.Fatalf("accounts=%d k=%d: same-shard draw returned the source %d",
+						tc.accounts, tc.k, from)
+				}
+			}
+		}
+	}
+}

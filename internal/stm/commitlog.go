@@ -30,6 +30,15 @@ type CommitRecord struct {
 	Serial uint64
 	Tie    uint64
 	Writes []LoggedWrite
+	// Shards is the commit's clock-shard vector: the sorted set of clock
+	// shards the write set touched, as assigned by the engine's sharder.
+	// Serial is drawn from (and comparable within) exactly these shards'
+	// number lines — a cross-shard commit raises every listed shard's clock
+	// to Serial before the record is appended, so recovery's per-shard
+	// max-Serial fold stays correct. Nil/empty means the engine ran unsharded
+	// (ClockShards == 1, shard 0 implied); the WAL encodes that case
+	// byte-identically to the pre-sharding format.
+	Shards []uint32
 }
 
 // CommitLogger is the durability seam on an engine's commit path. Engines
